@@ -1,0 +1,91 @@
+// Ablation: channel-interleave granularity (extension beyond the paper).
+//
+// Table I fixes RoRaBaChCo (row-buffer-granule channel interleave). This
+// ablation re-runs representative single-core workloads on homogeneous
+// DDR3 with line-, row- and page-granule interleaving to quantify how much
+// the mapping choice moves the baseline MOCA is compared against.
+#include "bench_util.h"
+
+#include "moca/policies.h"
+
+namespace {
+
+using namespace moca;
+
+sim::MemSystemConfig ddr3_with_granule(std::uint64_t granule) {
+  sim::MemSystemConfig c = sim::homogeneous(dram::MemKind::kDdr3);
+  // Granule is a device-geometry knob; patch it into the module spec by
+  // rebuilding the system with a customized device at System construction
+  // time is not exposed, so we express it through the config name and the
+  // runner below.
+  c.name += "-g" + std::to_string(granule);
+  return c;
+}
+
+sim::RunResult run_with_granule(const std::string& app,
+                                std::uint64_t granule,
+                                const sim::Experiment& e) {
+  sim::SystemOptions options;
+  options.instructions_per_core = e.instructions;
+  options.warmup_instructions = e.effective_warmup();
+  sim::AppInstance inst;
+  inst.spec = workload::app_by_name(app);
+  inst.seed = e.ref_seed;
+  std::vector<sim::AppInstance> instances;
+  instances.push_back(std::move(inst));
+
+  sim::MemSystemConfig config = ddr3_with_granule(granule);
+  // System builds devices from kind presets; the granule override runs
+  // through the per-module device config hook.
+  config.modules[0].interleave_granule_bytes = granule;
+  sim::System system(
+      config,
+      std::make_unique<core::HomogeneousPolicy>(dram::MemKind::kDdr3),
+      std::move(instances), options);
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Channel-interleave granularity on Homogen-DDR3",
+                      "extension (Table I's RoRaBaChCo revisited)");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<std::string> apps = {"mcf", "lbm", "gcc"};
+  const std::vector<std::pair<std::string, std::uint64_t>> granules = {
+      {"line (64B)", 64},
+      {"row buffer (128B, paper)", 0},
+      {"page (4KB)", 4096},
+  };
+
+  Table t({"app", "interleave", "mem time (norm)", "row hit %",
+           "avg latency (ns)"});
+  for (const std::string& app : apps) {
+    double base = 0.0;
+    for (const auto& [label, granule] : granules) {
+      const sim::RunResult r = run_with_granule(app, granule, env.single);
+      const double time = static_cast<double>(r.total_mem_access_time);
+      if (base == 0.0) base = time;
+      const dram::ChannelStats& s = r.modules[0].stats;
+      t.row()
+          .cell(app)
+          .cell(label)
+          .cell(time / base, 3)
+          .cell(s.accesses() > 0
+                    ? 100.0 * static_cast<double>(s.row_hits) /
+                          static_cast<double>(s.accesses())
+                    : 0.0,
+                1)
+          .cell(s.accesses() > 0
+                    ? static_cast<double>(s.total_access_time_ps()) /
+                          static_cast<double>(s.accesses()) / 1000.0
+                    : 0.0,
+                1);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: fine granules spread bandwidth (help "
+               "streams), coarse granules\npreserve row/TLB locality; the "
+               "paper's row-buffer granule sits between.\n";
+  return 0;
+}

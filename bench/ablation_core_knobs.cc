@@ -1,0 +1,89 @@
+// Ablation: core microarchitecture knobs (extension beyond the paper).
+//
+// The paper evaluates one out-of-order core (Table I). This ablation checks
+// that MOCA's placement advantage survives two big microarchitectural
+// changes: (a) an in-order, stall-on-use core (the embedded end of the
+// paper's motivation), where every LLC miss is exposed; (b) a next-line L2
+// prefetcher, which absorbs part of the streaming misses MOCA routes to
+// HBM.
+#include "bench_util.h"
+
+#include "moca/policies.h"
+
+namespace {
+
+using namespace moca;
+
+sim::RunResult run_variant(const std::string& app, sim::SystemChoice choice,
+                           const std::map<std::string, core::ClassifiedApp>& db,
+                           const sim::Experiment& e, bool in_order,
+                           std::uint32_t prefetch) {
+  sim::SystemOptions options;
+  options.instructions_per_core = e.instructions;
+  options.warmup_instructions = e.effective_warmup();
+  options.core_params.in_order = in_order;
+  options.prefetch_degree = prefetch;
+  sim::AppInstance inst;
+  inst.spec = workload::app_by_name(app);
+  inst.seed = e.ref_seed;
+  if (const auto it = db.find(app); it != db.end()) inst.classes = it->second;
+  std::vector<sim::AppInstance> instances;
+  instances.push_back(std::move(inst));
+  sim::System system(sim::memsys_for(choice, e), sim::make_policy(choice),
+                     std::move(instances), options);
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Core microarchitecture knobs: in-order & prefetch",
+                      "extension (Table I revisited)");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<std::string> apps = {"mcf", "lbm", "gcc"};
+  const auto db = sim::build_profile_db(apps, env.single);
+
+  struct Variant {
+    std::string name;
+    bool in_order;
+    std::uint32_t prefetch;
+  };
+  const std::vector<Variant> variants = {
+      {"OoO (paper)", false, 0},
+      {"in-order", true, 0},
+      {"OoO + prefetch(2)", false, 2},
+  };
+
+  Table t({"app", "core", "IPC (DDR3)", "MOCA/DDR3 time", "MOCA/Heter time",
+           "MOCA/Heter EDP"});
+  for (const std::string& app : apps) {
+    for (const Variant& v : variants) {
+      const sim::RunResult ddr3 =
+          run_variant(app, sim::SystemChoice::kHomogenDdr3, db, env.single,
+                      v.in_order, v.prefetch);
+      const sim::RunResult heter =
+          run_variant(app, sim::SystemChoice::kHeterApp, db, env.single,
+                      v.in_order, v.prefetch);
+      const sim::RunResult moca = run_variant(
+          app, sim::SystemChoice::kMoca, db, env.single, v.in_order,
+          v.prefetch);
+      t.row()
+          .cell(app)
+          .cell(v.name)
+          .cell(ddr3.cores[0].core.ipc(), 2)
+          .cell(static_cast<double>(moca.total_mem_access_time) /
+                    static_cast<double>(ddr3.total_mem_access_time),
+                3)
+          .cell(static_cast<double>(moca.total_mem_access_time) /
+                    static_cast<double>(heter.total_mem_access_time),
+                3)
+          .cell(moca.memory_edp() / heter.memory_edp(), 3);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: in-order cores expose every miss (lower"
+               " IPC, bigger absolute\ngains from fast modules); prefetching"
+               " absorbs part of the streaming traffic.\nMOCA's advantage"
+               " over Heter-App persists across all three cores.\n";
+  return 0;
+}

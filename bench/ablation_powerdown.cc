@@ -1,0 +1,63 @@
+// Ablation: idle power-down accounting (extension beyond the paper).
+//
+// The paper charges every module its full standby power for the whole run.
+// Real DDR3/LPDDR2/HBM parts drop into precharge power-down or self-refresh
+// when idle — RLDRAM3 does not. This ablation recomputes Fig. 9's memory
+// EDP with power-down-aware background energy to show that MOCA's
+// conclusions are robust to the accounting choice (and that the paper's
+// flat-standby model is, if anything, pessimistic for MOCA's
+// non-memory-intensive apps, whose HBM/RLDRAM sit idle).
+#include "bench_util.h"
+
+#include "power/dram_power.h"
+
+namespace {
+
+double recompute_edp(const moca::sim::RunResult& r, bool powerdown) {
+  double energy = 0.0;
+  for (const moca::sim::ModuleResult& m : r.modules) {
+    energy += moca::power::dram_energy_joules(
+        moca::power::dram_power_params(m.kind), m.stats, m.capacity_bytes,
+        r.exec_time, powerdown);
+  }
+  return energy * moca::ps_to_seconds(r.total_mem_access_time);
+}
+
+}  // namespace
+
+int main() {
+  using namespace moca;
+  bench::print_banner("Idle power-down energy accounting",
+                      "extension (Fig. 9 revisited)");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<std::string> apps = {"mcf", "lbm", "gcc", "sift"};
+  const auto db = sim::build_profile_db(apps, env.single);
+
+  Table t({"app", "system", "mem EDP (flat standby)",
+           "mem EDP (power-down)"});
+  for (const std::string& app : apps) {
+    double base_flat = 0.0, base_pd = 0.0;
+    for (const sim::SystemChoice choice :
+         {sim::SystemChoice::kHomogenDdr3, sim::SystemChoice::kHomogenRldram,
+          sim::SystemChoice::kHeterApp, sim::SystemChoice::kMoca}) {
+      const sim::RunResult r = sim::run_single(app, choice, db, env.single);
+      const double flat = recompute_edp(r, false);
+      const double pd = recompute_edp(r, true);
+      if (choice == sim::SystemChoice::kHomogenDdr3) {
+        base_flat = flat;
+        base_pd = pd;
+      }
+      t.row()
+          .cell(app)
+          .cell(to_string(choice))
+          .cell(flat / base_flat, 3)
+          .cell(pd / base_pd, 3);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: power-down helps every system except"
+               " Homogen-RL (RLDRAM3 has no\npower-down mode) and helps MOCA"
+               " most on non-memory-intensive apps, whose fast\nmodules sit"
+               " idle. The MOCA-vs-Heter-App ordering is unchanged.\n";
+  return 0;
+}

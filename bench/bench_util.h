@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/runner.h"
+#include "workload/suite.h"
+
+namespace moca::bench {
+
+/// Experiment presets. MOCA_SIM_INSTR overrides the single-core measured
+/// window; multi-core runs use half of it (4 cores quadruple the work).
+struct BenchEnv {
+  sim::Experiment single;
+  sim::Experiment multi;
+};
+
+[[nodiscard]] inline BenchEnv bench_env() {
+  BenchEnv env;
+  env.single = sim::Experiment::from_env();
+  if (std::getenv("MOCA_SIM_INSTR") == nullptr) {
+    env.single.instructions = 800'000;
+  }
+  // Multi-program runs need the full window too: the B apps' sweeps must
+  // cover enough pages to pressure HBM capacity (paper Sec. VI-B).
+  env.multi = env.single;
+  return env;
+}
+
+[[nodiscard]] inline double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// All ten application names in suite order.
+[[nodiscard]] inline std::vector<std::string> all_app_names() {
+  std::vector<std::string> names;
+  for (const workload::AppSpec& app : workload::standard_suite()) {
+    names.push_back(app.name);
+  }
+  return names;
+}
+
+/// Prints the standard header every harness emits.
+inline void print_banner(const std::string& what, const std::string& paper) {
+  std::cout << "==================================================\n"
+            << what << "\n"
+            << "(reproduces " << paper << " of the MOCA paper)\n"
+            << "==================================================\n\n";
+}
+
+}  // namespace moca::bench

@@ -1,0 +1,93 @@
+// Extension: MOCA on a two-tier DDR3+HBM machine (Knights-Landing style,
+// Sec. II-A). No RLDRAM or LPDDR exists here, so MOCA's preference chains
+// degrade: latency objects land in HBM (next after absent RLDRAM),
+// non-intensive objects in DDR3 (next after absent LPDDR). The comparison
+// shows object-level placement paying off on machines the paper only
+// mentions in passing.
+#include "bench_util.h"
+
+#include "moca/policies.h"
+
+namespace {
+
+using namespace moca;
+
+sim::RunResult run_on(const sim::MemSystemConfig& memsys,
+                      std::unique_ptr<os::AllocationPolicy> policy,
+                      const std::vector<std::string>& apps,
+                      const std::map<std::string, core::ClassifiedApp>& db,
+                      const sim::Experiment& e) {
+  sim::SystemOptions options;
+  options.instructions_per_core = e.instructions;
+  options.warmup_instructions = e.effective_warmup();
+  std::vector<sim::AppInstance> instances;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    sim::AppInstance inst;
+    inst.spec = workload::app_by_name(apps[i]);
+    inst.seed = e.ref_seed + 7919 * (i + 1);
+    if (const auto it = db.find(apps[i]); it != db.end()) {
+      inst.classes = it->second;
+    }
+    instances.push_back(std::move(inst));
+  }
+  sim::System system(memsys, std::move(policy), std::move(instances),
+                     options);
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Two-tier DDR3+HBM (KNL-like) machine",
+                      "extension (Sec. II-A's KNL discussion)");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<workload::WorkloadSet> sets = {
+      workload::standard_sets()[1],  // 3L1B
+      workload::standard_sets()[6],  // 2L1B1N
+      workload::standard_sets()[8],  // 2B2N
+  };
+  const auto db = sim::build_profile_db(bench::all_app_names(), env.single);
+
+  Table t({"workload", "system", "mem time (norm)", "mem EDP (norm)",
+           "HBM frames", "HBM accesses"});
+  for (const workload::WorkloadSet& set : sets) {
+    const sim::RunResult ddr3 = run_on(
+        sim::homogeneous(dram::MemKind::kDdr3),
+        std::make_unique<core::HomogeneousPolicy>(dram::MemKind::kDdr3),
+        set.apps, db, env.multi);
+    const double bt = static_cast<double>(ddr3.total_mem_access_time);
+    const double be = ddr3.memory_edp();
+
+    const sim::RunResult heter =
+        run_on(sim::knl_like(), std::make_unique<core::HeterAppPolicy>(),
+               set.apps, db, env.multi);
+    const sim::RunResult moca =
+        run_on(sim::knl_like(), std::make_unique<core::MocaPolicy>(),
+               set.apps, db, env.multi);
+
+    auto add = [&](const std::string& name, const sim::RunResult& r,
+                   bool knl) {
+      t.row()
+          .cell(set.name)
+          .cell(name)
+          .cell(static_cast<double>(r.total_mem_access_time) / bt, 3)
+          .cell(r.memory_edp() / be, 3)
+          .cell(knl ? std::to_string(r.os_stats.frames_per_module[1])
+                    : std::string("-"))
+          .cell(knl ? std::to_string(r.modules[1].stats.accesses())
+                    : std::string("-"));
+    };
+    add("Homogen-DDR3", ddr3, false);
+    add("KNL + Heter-App", heter, true);
+    add("KNL + MOCA", moca, true);
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: both policies beat Homogen-DDR3. MOCA wins"
+               " on L-heavy sets,\nwhere latency objects contend for the"
+               " small HBM against whole first-come apps;\non mostly-B sets"
+               " both policies fill HBM with the same streams and whole-app\n"
+               "placement is already adequate — heterogeneity pays off most"
+               " when module\ncharacteristics differ more than DDR4 vs HBM"
+               " (the paper's three-kind machine).\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 1: application-level memory access behaviour — LLC MPKI (memory
+// intensity) vs ROB-head stall cycles per load miss (inverse MLP) for the
+// whole suite, measured on the homogeneous DDR3 baseline.
+#include "bench_util.h"
+
+int main() {
+  using namespace moca;
+  bench::print_banner("Application-level memory behaviour", "Figure 1");
+  const bench::BenchEnv env = bench::bench_env();
+
+  Table t({"app", "class(TabIII)", "LLC MPKI", "ROB stall/load miss",
+           "IPC(DDR3)"});
+  for (const workload::AppSpec& app : workload::standard_suite()) {
+    const core::AppProfile profile = sim::profile_app(app, env.single);
+    // IPC on the same baseline, reference input.
+    const std::map<std::string, core::ClassifiedApp> empty_db;
+    const sim::RunResult run = sim::run_single(
+        app.name, sim::SystemChoice::kHomogenDdr3, empty_db, env.single);
+    t.row()
+        .cell(app.name)
+        .cell(std::string(1, os::class_letter(app.expected_class)))
+        .cell(profile.app_mpki(), 2)
+        .cell(profile.app_stall_per_miss(), 1)
+        .cell(run.cores[0].core.ipc(), 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: L apps high MPKI + high stall, B apps high"
+               " MPKI + low stall,\nN apps low MPKI (paper Fig. 1).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 2: per-object memory behaviour scatter — LLC MPKI vs ROB-head stall
+// cycles per load miss for every named heap object of selected apps, with
+// object sizes (the circle areas of the paper's figure).
+#include "bench_util.h"
+
+int main() {
+  using namespace moca;
+  bench::print_banner("Per-object memory behaviour", "Figure 2");
+  const bench::BenchEnv env = bench::bench_env();
+
+  // The paper plots six applications in Fig. 2; we print the whole suite —
+  // the six paper apps first.
+  const std::vector<std::string> apps = {"mcf",  "milc",  "disparity",
+                                         "mser", "gcc",   "tracking",
+                                         "lbm",  "libquantum", "sift",
+                                         "stitch"};
+  Table t({"app", "object", "size(MiB)", "LLC MPKI", "stall/load miss",
+           "class"});
+  for (const std::string& name : apps) {
+    const core::AppProfile profile =
+        sim::profile_app(workload::app_by_name(name), env.single);
+    const core::ClassifiedApp classes =
+        sim::classify_for_runtime(profile, env.single);
+    for (const auto& [obj_name, obj] : profile.objects) {
+      t.row()
+          .cell(name)
+          .cell(obj.label)
+          .cell(static_cast<double>(obj.bytes) / (1024.0 * 1024.0), 1)
+          .cell(obj.mpki(profile.instructions), 2)
+          .cell(obj.stall_per_miss(), 1)
+          .cell(std::string(1, os::class_letter(classes.class_of(obj_name))));
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: wide per-object spread within single apps;"
+               "\nmilc/mser have few memory-intensive objects among many"
+               " cache-resident ones;\ndisparity has one high-MPKI object"
+               " and one lower-MPKI object (paper Fig. 2).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figs. 8 & 9: single-core memory access time and memory EDP across the six
+// memory systems (Homogen-DDR3/LP/RL/HBM, Heter-App, MOCA), one application
+// per run, everything normalized to Homogen-DDR3.
+#include "bench_util.h"
+
+int main() {
+  using namespace moca;
+  bench::print_banner(
+      "Single-core memory access time and memory EDP (normalized to DDR3)",
+      "Figures 8 and 9");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<std::string> apps = bench::all_app_names();
+  const auto db = sim::build_profile_db(apps, env.single);
+  const std::vector<sim::SystemChoice> systems = sim::all_system_choices();
+
+  std::vector<std::string> header{"app"};
+  for (const sim::SystemChoice c : systems) header.push_back(to_string(c));
+  Table perf(header);
+  Table edp(header);
+  std::map<sim::SystemChoice, std::vector<double>> perf_norm, edp_norm;
+
+  for (const std::string& app : apps) {
+    double base_time = 0.0, base_edp = 0.0;
+    perf.row().cell(app);
+    edp.row().cell(app);
+    for (const sim::SystemChoice choice : systems) {
+      const sim::RunResult r = sim::run_single(app, choice, db, env.single);
+      const double time = static_cast<double>(r.total_mem_access_time);
+      const double e = r.memory_edp();
+      if (choice == sim::SystemChoice::kHomogenDdr3) {
+        base_time = time;
+        base_edp = e;
+      }
+      perf.cell(time / base_time, 3);
+      edp.cell(e / base_edp, 3);
+      perf_norm[choice].push_back(time / base_time);
+      edp_norm[choice].push_back(e / base_edp);
+    }
+  }
+  perf.row().cell("geomean");
+  edp.row().cell("geomean");
+  for (const sim::SystemChoice c : systems) {
+    perf.cell(bench::geomean(perf_norm[c]), 3);
+    edp.cell(bench::geomean(edp_norm[c]), 3);
+  }
+
+  std::cout << "--- Fig. 8: normalized memory access time ---\n";
+  perf.print(std::cout);
+  std::cout << "\n--- Fig. 9: normalized memory EDP ---\n";
+  edp.print(std::cout);
+
+  const double moca_time =
+      bench::geomean(perf_norm[sim::SystemChoice::kMoca]);
+  const double heter_time =
+      bench::geomean(perf_norm[sim::SystemChoice::kHeterApp]);
+  const double moca_edp = bench::geomean(edp_norm[sim::SystemChoice::kMoca]);
+  const double heter_edp =
+      bench::geomean(edp_norm[sim::SystemChoice::kHeterApp]);
+  std::cout << "\nSummary (paper: MOCA -51% access time / -43% EDP vs DDR3;"
+               " -14% / -15% vs Heter-App):\n"
+            << "  MOCA vs Homogen-DDR3: " << format_fixed(
+                   (1.0 - moca_time) * 100.0, 1)
+            << "% faster memory access, " << format_fixed(
+                   (1.0 - moca_edp) * 100.0, 1)
+            << "% lower memory EDP\n"
+            << "  MOCA vs Heter-App:    "
+            << format_fixed((1.0 - moca_time / heter_time) * 100.0, 1)
+            << "% faster memory access, "
+            << format_fixed((1.0 - moca_edp / heter_edp) * 100.0, 1)
+            << "% lower memory EDP\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figs. 10 & 11: multicore (4-core, multi-program) memory access time and
+// memory EDP across the six memory systems, normalized to Homogen-DDR3.
+#include "bench_util.h"
+
+int main() {
+  using namespace moca;
+  bench::print_banner(
+      "Multicore memory access time and memory EDP (normalized to DDR3)",
+      "Figures 10 and 11");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<workload::WorkloadSet> sets = workload::standard_sets();
+  const auto db = sim::build_profile_db(bench::all_app_names(), env.single);
+  const std::vector<sim::SystemChoice> systems = sim::all_system_choices();
+
+  std::vector<std::string> header{"workload"};
+  for (const sim::SystemChoice c : systems) header.push_back(to_string(c));
+  Table perf(header);
+  Table edp(header);
+  std::map<sim::SystemChoice, std::vector<double>> perf_norm, edp_norm;
+
+  for (const workload::WorkloadSet& set : sets) {
+    double base_time = 0.0, base_edp = 0.0;
+    perf.row().cell(set.name);
+    edp.row().cell(set.name);
+    for (const sim::SystemChoice choice : systems) {
+      const sim::RunResult r =
+          sim::run_workload(set.apps, choice, db, env.multi);
+      const double time = static_cast<double>(r.total_mem_access_time);
+      const double e = r.memory_edp();
+      if (choice == sim::SystemChoice::kHomogenDdr3) {
+        base_time = time;
+        base_edp = e;
+      }
+      perf.cell(time / base_time, 3);
+      edp.cell(e / base_edp, 3);
+      perf_norm[choice].push_back(time / base_time);
+      edp_norm[choice].push_back(e / base_edp);
+    }
+  }
+  perf.row().cell("geomean");
+  edp.row().cell("geomean");
+  for (const sim::SystemChoice c : systems) {
+    perf.cell(bench::geomean(perf_norm[c]), 3);
+    edp.cell(bench::geomean(edp_norm[c]), 3);
+  }
+
+  std::cout << "--- Fig. 10: normalized memory access time ---\n";
+  perf.print(std::cout);
+  std::cout << "\n--- Fig. 11: normalized memory EDP ---\n";
+  edp.print(std::cout);
+
+  const double moca_t = bench::geomean(perf_norm[sim::SystemChoice::kMoca]);
+  const double heter_t =
+      bench::geomean(perf_norm[sim::SystemChoice::kHeterApp]);
+  const double moca_e = bench::geomean(edp_norm[sim::SystemChoice::kMoca]);
+  const double heter_e =
+      bench::geomean(edp_norm[sim::SystemChoice::kHeterApp]);
+  const double lp_e =
+      bench::geomean(edp_norm[sim::SystemChoice::kHomogenLpddr2]);
+  std::cout << "\nSummary (paper: MOCA -63% EDP vs DDR3, -40% vs LP;"
+               " -26% access time and -33% EDP vs Heter-App):\n"
+            << "  MOCA memory EDP vs DDR3: -"
+            << format_fixed((1.0 - moca_e) * 100.0, 1) << "%\n"
+            << "  MOCA memory EDP vs LP:   -"
+            << format_fixed((1.0 - moca_e / lp_e) * 100.0, 1) << "%\n"
+            << "  MOCA vs Heter-App:       -"
+            << format_fixed((1.0 - moca_t / heter_t) * 100.0, 1)
+            << "% access time, -"
+            << format_fixed((1.0 - moca_e / heter_e) * 100.0, 1) << "% EDP\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figs. 12 & 13: multicore *system* performance (aggregate instruction
+// throughput) and system EDP (core+cache+memory energy x execution time),
+// normalized to Homogen-DDR3.
+#include "bench_util.h"
+
+int main() {
+  using namespace moca;
+  bench::print_banner(
+      "Multicore system performance and system EDP (normalized to DDR3)",
+      "Figures 12 and 13");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::vector<workload::WorkloadSet> sets = workload::standard_sets();
+  const auto db = sim::build_profile_db(bench::all_app_names(), env.single);
+  const std::vector<sim::SystemChoice> systems = sim::all_system_choices();
+
+  std::vector<std::string> header{"workload"};
+  for (const sim::SystemChoice c : systems) header.push_back(to_string(c));
+  Table perf(header);  // higher is better (normalized throughput)
+  Table edp(header);   // lower is better
+  std::map<sim::SystemChoice, std::vector<double>> perf_norm, edp_norm;
+
+  for (const workload::WorkloadSet& set : sets) {
+    double base_tput = 0.0, base_edp = 0.0;
+    perf.row().cell(set.name);
+    edp.row().cell(set.name);
+    for (const sim::SystemChoice choice : systems) {
+      const sim::RunResult r =
+          sim::run_workload(set.apps, choice, db, env.multi);
+      const double tput = r.system_throughput();
+      const double e = r.system_edp();
+      if (choice == sim::SystemChoice::kHomogenDdr3) {
+        base_tput = tput;
+        base_edp = e;
+      }
+      perf.cell(tput / base_tput, 3);
+      edp.cell(e / base_edp, 3);
+      perf_norm[choice].push_back(tput / base_tput);
+      edp_norm[choice].push_back(e / base_edp);
+    }
+  }
+  perf.row().cell("geomean");
+  edp.row().cell("geomean");
+  for (const sim::SystemChoice c : systems) {
+    perf.cell(bench::geomean(perf_norm[c]), 3);
+    edp.cell(bench::geomean(edp_norm[c]), 3);
+  }
+
+  std::cout << "--- Fig. 12: normalized system performance (higher=better)"
+               " ---\n";
+  perf.print(std::cout);
+  std::cout << "\n--- Fig. 13: normalized system EDP (lower=better) ---\n";
+  edp.print(std::cout);
+
+  const double moca_p = bench::geomean(perf_norm[sim::SystemChoice::kMoca]);
+  const double heter_p =
+      bench::geomean(perf_norm[sim::SystemChoice::kHeterApp]);
+  const double moca_e = bench::geomean(edp_norm[sim::SystemChoice::kMoca]);
+  const double heter_e =
+      bench::geomean(edp_norm[sim::SystemChoice::kHeterApp]);
+  std::cout << "\nSummary (paper: MOCA up to ~15% system EDP vs DDR3;"
+               " ~10% perf and EDP vs Heter-App):\n"
+            << "  MOCA system EDP vs DDR3:  -"
+            << format_fixed((1.0 - moca_e) * 100.0, 1) << "%\n"
+            << "  MOCA vs Heter-App:        +"
+            << format_fixed((moca_p / heter_p - 1.0) * 100.0, 1)
+            << "% performance, -"
+            << format_fixed((1.0 - moca_e / heter_e) * 100.0, 1) << "% EDP\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Component microbenchmarks (google-benchmark): throughput of the
+// simulator's hot paths. Useful as performance-regression canaries for the
+// substrate the figure harnesses run on.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "dram/controller.h"
+#include "moca/allocator.h"
+#include "moca/naming.h"
+#include "os/page_table.h"
+#include "workload/app_stream.h"
+#include "workload/suite.h"
+
+namespace {
+
+using namespace moca;
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  EventQueue q;
+  TimePs t = 0;
+  for (auto _ : state) {
+    q.schedule(t + 100, [] {});
+    q.run_until(t + 100);
+    t += 100;
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  cache::Cache cache(cache::default_l2());
+  for (std::uint64_t i = 0; i < 64; ++i) (void)cache.fill(i * 64, false);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access((i++ % 64) * 64, false));
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessMissAndFill(benchmark::State& state) {
+  cache::Cache cache(cache::default_l2());
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    if (!cache.access(addr, false)) (void)cache.fill(addr, false);
+    addr += 64;
+  }
+}
+BENCHMARK(BM_CacheAccessMissAndFill);
+
+void BM_DramControllerRandomReads(benchmark::State& state) {
+  EventQueue q;
+  const dram::DeviceConfig cfg = dram::make_ddr3();
+  dram::ChannelController ch(cfg, q, "bm");
+  Rng rng(7);
+  TimePs t = 0;
+  for (auto _ : state) {
+    dram::DramRequest r;
+    r.addr = rng.next_below(1 << 20) * 64;
+    r.arrival = t;
+    ch.enqueue(std::move(r),
+               static_cast<std::uint32_t>(rng.next_below(8)),
+               rng.next_below(4096));
+    t += 50'000;  // 50 ns between arrivals: keeps the queue shallow
+    q.run_until(t);
+  }
+}
+BENCHMARK(BM_DramControllerRandomReads);
+
+void BM_HierarchyLoadL1Hit(benchmark::State& state) {
+  EventQueue q;
+  cache::MemHierarchy hier(
+      cache::default_l1d(), cache::default_l2(), q,
+      [&q](std::uint64_t, bool, std::function<void(TimePs)> cb) {
+        if (cb) q.schedule(q.now() + 60'000, [cb, &q] { cb(q.now()); });
+      });
+  cache::AccessContext ctx;
+  (void)hier.issue_load(0, ctx, [](TimePs) {});
+  q.run_until(1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier.issue_load(0, ctx, [](TimePs) {}));
+    q.run_until(q.now() + 2'000);
+  }
+}
+BENCHMARK(BM_HierarchyLoadL1Hit);
+
+void BM_ObjectNaming(benchmark::State& state) {
+  std::uint64_t frames[5] = {0x400001, 0x400101, 0x400201, 0x400301,
+                             0x400401};
+  for (auto _ : state) {
+    frames[0] += 0x10;
+    benchmark::DoNotOptimize(core::name_object(frames));
+  }
+}
+BENCHMARK(BM_ObjectNaming);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  os::Tlb tlb(64);
+  for (os::Vpn v = 0; v < 64; ++v) tlb.insert(0, v, v + 100);
+  os::Vpn v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(0, v++ % 64));
+  }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_AppStreamNext(benchmark::State& state) {
+  os::AddressSpace space(0);
+  core::ObjectRegistry registry;
+  core::MocaAllocator alloc(space, registry, nullptr);
+  workload::AppStream stream(workload::app_by_name("milc"), 1.0, 42, alloc,
+                             space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next());
+  }
+}
+BENCHMARK(BM_AppStreamNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

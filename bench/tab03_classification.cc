@@ -1,0 +1,48 @@
+// Table III: application-level L/B/N classification used by the Heter-App
+// baseline, plus the per-object class census MOCA instruments into each
+// binary (Fig. 5 thresholds: Thr_Lat = 1 MPKI, Thr_BW = 20 cycles).
+#include "bench_util.h"
+
+int main() {
+  using namespace moca;
+  bench::print_banner("Benchmark classification", "Table III / Fig. 5");
+  const bench::BenchEnv env = bench::bench_env();
+
+  Table t({"app", "measured class", "paper Table III", "match",
+           "#L objs", "#B objs", "#N objs"});
+  int matches = 0;
+  for (const workload::AppSpec& app : workload::standard_suite()) {
+    const core::AppProfile profile = sim::profile_app(app, env.single);
+    const core::ClassifiedApp classes =
+        sim::classify_for_runtime(profile, env.single);
+    int l = 0, b = 0, n = 0;
+    for (const auto& [name, cls] : classes.object_class) {
+      switch (cls) {
+        case os::MemClass::kLatency:
+          ++l;
+          break;
+        case os::MemClass::kBandwidth:
+          ++b;
+          break;
+        case os::MemClass::kNonIntensive:
+          ++n;
+          break;
+      }
+    }
+    const bool ok = classes.app_class == app.expected_class;
+    matches += ok;
+    t.row()
+        .cell(app.name)
+        .cell(std::string(1, os::class_letter(classes.app_class)))
+        .cell(std::string(1, os::class_letter(app.expected_class)))
+        .cell(ok ? "yes" : "NO")
+        .cell(std::to_string(l))
+        .cell(std::to_string(b))
+        .cell(std::to_string(n));
+  }
+  t.print(std::cout);
+  std::cout << "\n" << matches << "/10 app-level classes match Table III"
+            << " (L: mcf, milc, libquantum, disparity;"
+            << " B: mser, lbm, tracking; N: gcc, sift, stitch).\n";
+  return matches == 10 ? 0 : 1;
+}

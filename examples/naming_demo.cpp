@@ -1,0 +1,66 @@
+// Example: the memory-object naming convention of paper Fig. 3.
+//
+// Reconstructs the paper's example: `array` is malloc'd directly from
+// main(), `string` is malloc'd inside foo() which is called from main().
+// Both naming inputs and the resulting stable ObjectNames are shown, plus
+// the runtime LUT (ObjectRegistry) lookup by address.
+#include <array>
+#include <iomanip>
+#include <iostream>
+
+#include "moca/naming.h"
+#include "moca/object_registry.h"
+#include "os/address_space.h"
+
+int main() {
+  using namespace moca;
+  std::cout << "== Memory-object naming (paper Fig. 3) ==\n\n";
+
+  // Return addresses from the paper's assembly listing.
+  //   4004ee: return address of array's malloc call in main()
+  //   4004d6: return address of string's malloc call inside foo()
+  //   4004fc: return address of the foo() call in main()
+  const std::array<std::uint64_t, 1> array_stack{0x4004ee};
+  const std::array<std::uint64_t, 2> string_stack{0x4004d6, 0x4004fc};
+
+  const core::ObjectName array_name = core::name_object(array_stack);
+  const core::ObjectName string_name = core::name_object(string_stack);
+
+  std::cout << std::hex;
+  std::cout << "array  <- malloc@0x4004ee (main)           name=0x"
+            << array_name << '\n';
+  std::cout << "string <- malloc@0x4004d6 via foo@0x4004fc name=0x"
+            << string_name << '\n';
+
+  // Same allocation site, different calling context => different name.
+  const std::array<std::uint64_t, 2> string_other_caller{0x4004d6, 0x400abc};
+  std::cout << "string via another caller                  name=0x"
+            << core::name_object(string_other_caller) << '\n';
+
+  // Names are stable across executions (pure function of the call stack).
+  std::cout << "\nstable across runs: "
+            << (core::name_object(array_stack) == array_name ? "yes" : "no")
+            << std::dec << "\n\n";
+
+  // The runtime LUT: register live instances and identify the accessed
+  // object by address, as the profiler does on every LLC miss (Sec. IV-A).
+  os::AddressSpace space(0);
+  core::ObjectRegistry registry;
+  const os::VirtAddr array_base =
+      space.alloc_heap(os::Segment::kHeapPow, 16);
+  (void)registry.add(array_name, 0, array_base, 16,
+                     os::MemClass::kNonIntensive, "array");
+  const os::VirtAddr string_base =
+      space.alloc_heap(os::Segment::kHeapPow, 20);
+  (void)registry.add(string_name, 0, string_base, 20,
+                     os::MemClass::kNonIntensive, "string");
+
+  const core::ObjectInstance* hit = registry.find(0, string_base + 5);
+  std::cout << "LUT lookup of (string_base+5): "
+            << (hit != nullptr ? hit->label : "<none>") << '\n';
+  std::cout << "LUT lookup past the object:    "
+            << (registry.find(0, string_base + 64) != nullptr ? "<object>"
+                                                              : "<none>")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Example: tuning Thr_Lat / Thr_BW for a new machine (paper Sec. IV-C).
+//
+// The paper sets its thresholds empirically by finding the break-even
+// points where RLDRAM/HBM placement starts paying off. This example walks
+// that procedure for one application: sweep each threshold, rerun the
+// classification + MOCA placement, and report where memory EDP bottoms out.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/runner.h"
+#include "workload/suite.h"
+
+int main() {
+  using namespace moca;
+  sim::Experiment experiment = sim::Experiment::from_env();
+  const std::string app = "milc";  // mixed L/B/N objects
+  std::cout << "== Threshold tuning on '" << app << "' (Sec. IV-C) ==\n\n";
+
+  auto edp_with = [&](double thr_lat, double thr_bw) {
+    sim::Experiment e = experiment;
+    e.object_thresholds = core::Thresholds{thr_lat, thr_bw};
+    const auto db = sim::build_profile_db({app}, e);
+    const sim::RunResult r = sim::run_single(app, sim::SystemChoice::kMoca,
+                                             db, e);
+    return r.memory_edp();
+  };
+
+  const double reference = edp_with(1.0, 20.0);
+
+  Table lat({"Thr_Lat", "memory EDP vs (1,20)"});
+  double best_lat = 1.0, best_lat_edp = 1.0;
+  for (const double thr : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double e = edp_with(thr, 20.0) / reference;
+    lat.row().cell(thr, 2).cell(e, 3);
+    if (e < best_lat_edp) {
+      best_lat_edp = e;
+      best_lat = thr;
+    }
+  }
+  lat.print(std::cout);
+
+  Table bw({"Thr_BW", "memory EDP vs (1,20)"});
+  double best_bw = 20.0, best_bw_edp = 1.0;
+  for (const double thr : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const double e = edp_with(1.0, thr) / reference;
+    bw.row().cell(thr, 1).cell(e, 3);
+    if (e < best_bw_edp) {
+      best_bw_edp = e;
+      best_bw = thr;
+    }
+  }
+  std::cout << '\n';
+  bw.print(std::cout);
+
+  std::cout << "\nbest Thr_Lat ~ " << best_lat << ", best Thr_BW ~ "
+            << best_bw
+            << " (the paper lands on (1, 20) for its target system; "
+               "thresholds must be\nre-derived per machine, Sec. IV-C)\n";
+  return 0;
+}

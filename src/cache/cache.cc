@@ -1,0 +1,120 @@
+#include "cache/cache.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace moca::cache {
+
+CacheConfig default_l1d() {
+  return {.name = "L1D",
+          .size_bytes = 64 * KiB,
+          .associativity = 2,
+          .latency_cycles = 2,
+          .mshrs = 4};
+}
+
+CacheConfig default_l2() {
+  return {.name = "L2",
+          .size_bytes = 512 * KiB,
+          .associativity = 16,
+          .latency_cycles = 20,
+          .mshrs = 20};
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  MOCA_CHECK(config_.size_bytes >= kLineBytes);
+  MOCA_CHECK(config_.associativity > 0);
+  const std::uint64_t total_lines = config_.size_bytes / kLineBytes;
+  MOCA_CHECK_MSG(total_lines % config_.associativity == 0,
+                 config_.name << ": size not divisible by associativity");
+  const std::uint64_t sets = total_lines / config_.associativity;
+  MOCA_CHECK_MSG(std::has_single_bit(sets),
+                 config_.name << ": set count must be a power of two");
+  num_sets_ = static_cast<std::uint32_t>(sets);
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(sets));
+  lines_.resize(total_lines);
+}
+
+Cache::Line* Cache::find(std::uint64_t line) {
+  const std::uint32_t set = set_index(line);
+  const std::uint64_t tag = tag_of(line);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t line) const {
+  return const_cast<Cache*>(this)->find(line);
+}
+
+bool Cache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line = addr >> kLineShift;
+  Line* hit = find(line);
+  if (hit != nullptr) {
+    hit->lru = ++lru_clock_;
+    if (is_write) {
+      hit->dirty = true;
+      ++stats_.write_hits;
+    } else {
+      ++stats_.read_hits;
+    }
+    return true;
+  }
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  return find(addr >> kLineShift) != nullptr;
+}
+
+Cache::Evicted Cache::fill(std::uint64_t addr, bool dirty) {
+  const std::uint64_t line = addr >> kLineShift;
+  MOCA_CHECK_MSG(find(line) == nullptr,
+                 config_.name << ": fill of resident line");
+  ++stats_.fills;
+  const std::uint32_t set = set_index(line);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.associativity];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  Evicted ev;
+  if (victim->valid) {
+    ev.valid = true;
+    ev.dirty = victim->dirty;
+    ev.line_addr = ((victim->tag << set_shift_) | set) << kLineShift;
+    if (ev.dirty) ++stats_.dirty_evictions;
+  }
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag = tag_of(line);
+  victim->lru = ++lru_clock_;
+  return ev;
+}
+
+bool Cache::mark_dirty(std::uint64_t addr) {
+  Line* hit = find(addr >> kLineShift);
+  if (hit == nullptr) return false;
+  hit->dirty = true;
+  return true;
+}
+
+void Cache::invalidate(std::uint64_t addr) {
+  Line* hit = find(addr >> kLineShift);
+  if (hit != nullptr) hit->valid = false;
+}
+
+}  // namespace moca::cache

@@ -1,0 +1,100 @@
+// Set-associative cache array with LRU replacement.
+//
+// This models tags only (the simulator never stores data). Write policy is
+// decided by the hierarchy; the array just tracks valid/dirty state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace moca::cache {
+
+struct CacheConfig {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t associativity = 1;
+  std::int64_t latency_cycles = 1;
+  std::uint32_t mshrs = 4;
+};
+
+/// Table I cache presets: 64KB 2-way 2-cycle L1D, 512KB 16-way 20-cycle L2.
+[[nodiscard]] CacheConfig default_l1d();
+[[nodiscard]] CacheConfig default_l2();
+
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  [[nodiscard]] std::uint64_t hits() const { return read_hits + write_hits; }
+  [[nodiscard]] std::uint64_t misses() const {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] std::uint64_t accesses() const { return hits() + misses(); }
+};
+
+/// Tag array. Addresses passed in are full byte addresses; the cache indexes
+/// by 64B line internally.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up `addr`; on hit updates LRU (and dirty for writes).
+  [[nodiscard]] bool access(std::uint64_t addr, bool is_write);
+
+  /// Looks up without updating replacement state or stats.
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// Result of inserting a line: the displaced victim, if any.
+  struct Evicted {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t line_addr = 0;  // byte address of the victim line
+  };
+
+  /// Inserts the line containing `addr` (displacing LRU), marking it dirty
+  /// if `dirty`. Must not be called when the line is already present.
+  Evicted fill(std::uint64_t addr, bool dirty);
+
+  /// Marks an existing line dirty; returns false if absent.
+  bool mark_dirty(std::uint64_t addr);
+
+  /// Drops the line if present (used for writeback forwarding tests).
+  void invalidate(std::uint64_t addr);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint32_t set_index(std::uint64_t line) const {
+    return static_cast<std::uint32_t>(line & (num_sets_ - 1));
+  }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const {
+    return line >> set_shift_;
+  }
+  Line* find(std::uint64_t line);
+  [[nodiscard]] const Line* find(std::uint64_t line) const;
+
+  CacheConfig config_;
+  std::uint32_t num_sets_ = 1;
+  std::uint32_t set_shift_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;  // num_sets * associativity, set-major
+  CacheStats stats_;
+};
+
+}  // namespace moca::cache

@@ -1,0 +1,230 @@
+#include "cache/hierarchy.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace moca::cache {
+
+namespace {
+[[nodiscard]] std::uint64_t line_of(std::uint64_t addr) {
+  return addr >> kLineShift;
+}
+[[nodiscard]] std::uint64_t addr_of(std::uint64_t line) {
+  return line << kLineShift;
+}
+}  // namespace
+
+MemHierarchy::MemHierarchy(const CacheConfig& l1_config,
+                           const CacheConfig& l2_config, EventQueue& events,
+                           Backend backend)
+    : l1_(l1_config),
+      l2_(l2_config),
+      events_(events),
+      backend_(std::move(backend)),
+      l1_latency_(l1_config.latency_cycles * kCpuCyclePs),
+      l2_latency_(l2_config.latency_cycles * kCpuCyclePs) {
+  MOCA_CHECK(backend_ != nullptr);
+  MOCA_CHECK(l1_config.mshrs > 0 && l2_config.mshrs > 0);
+}
+
+IssueResult MemHierarchy::issue_load(std::uint64_t paddr,
+                                     const AccessContext& ctx,
+                                     LoadCallback cb) {
+  MOCA_CHECK(cb != nullptr);
+  const std::uint64_t line = line_of(paddr);
+
+  // Merge into a pending L1 miss before anything else: it costs no MSHR.
+  if (auto it = l1_mshr_.find(line); it != l1_mshr_.end()) {
+    ++stats_.loads;
+    ++stats_.l1_accesses;
+    ++stats_.l1_load_merges;
+    it->second.waiters.push_back(std::move(cb));
+    return it->second.llc_miss ? IssueResult::kLlcMiss : IssueResult::kL2Hit;
+  }
+
+  if (l1_.contains(paddr)) {
+    ++stats_.loads;
+    ++stats_.l1_accesses;
+    ++stats_.l1_load_hits;
+    const bool hit = l1_.access(paddr, /*is_write=*/false);
+    MOCA_CHECK(hit);
+    events_.schedule(now() + l1_latency_,
+                     [cb = std::move(cb), t = now() + l1_latency_] { cb(t); });
+    return IssueResult::kL1Hit;
+  }
+
+  if (l1_mshr_.size() >= l1_.config().mshrs) return IssueResult::kNoMshr;
+
+  ++stats_.loads;
+  ++stats_.l1_accesses;
+  const bool hit = l1_.access(paddr, /*is_write=*/false);  // records the miss
+  MOCA_CHECK(!hit);
+
+  L1Entry& entry = l1_mshr_[line];
+  entry.waiters.push_back(std::move(cb));
+  const L2Route route =
+      route_to_l2(line, ctx,
+                  [this, line](TimePs when) { finish_l1_fill(line, when); },
+                  /*dirty_fill=*/false);
+  // route_to_l2 may run synchronously-scheduled actions only via the event
+  // queue, so the entry reference stays valid here.
+  if (route == L2Route::kMiss) {
+    l1_mshr_[line].llc_miss = true;
+    return IssueResult::kLlcMiss;
+  }
+  return IssueResult::kL2Hit;
+}
+
+void MemHierarchy::issue_store(std::uint64_t paddr, const AccessContext& ctx) {
+  const std::uint64_t line = line_of(paddr);
+  ++stats_.stores;
+  ++stats_.l1_accesses;
+
+  if (l1_.contains(paddr)) {
+    const bool hit = l1_.access(paddr, /*is_write=*/true);
+    MOCA_CHECK(hit);
+    return;
+  }
+  if (auto it = l1_mshr_.find(line); it != l1_mshr_.end()) {
+    // The fill in flight will install the line; mark it dirty on arrival.
+    it->second.store_merge = true;
+    return;
+  }
+  // Write-around L1: allocate at L2 only.
+  AccessContext store_ctx = ctx;
+  store_ctx.is_load = false;
+  (void)route_to_l2(line, store_ctx, /*action=*/nullptr, /*dirty_fill=*/true);
+}
+
+MemHierarchy::L2Route MemHierarchy::route_to_l2(std::uint64_t line,
+                                                const AccessContext& ctx,
+                                                L2Action action,
+                                                bool dirty_fill) {
+  const std::uint64_t addr = addr_of(line);
+  ++stats_.l2_accesses;
+
+  if (l2_.contains(addr)) {
+    ++stats_.l2_hits;
+    const bool hit = l2_.access(addr, /*is_write=*/dirty_fill);
+    MOCA_CHECK(hit);
+    if (action) {
+      events_.schedule(now() + l2_latency_,
+                       [action = std::move(action), t = now() + l2_latency_] {
+                         action(t);
+                       });
+    }
+    return L2Route::kHit;
+  }
+
+  if (auto it = l2_mshr_.find(line); it != l2_mshr_.end()) {
+    if (action) it->second.actions.push_back(std::move(action));
+    it->second.dirty_fill |= dirty_fill;
+    return L2Route::kMiss;
+  }
+
+  if (l2_mshr_.size() >= l2_.config().mshrs) {
+    l2_deferred_.push_back(
+        Deferred{line, ctx, std::move(action), dirty_fill});
+    return L2Route::kMiss;
+  }
+
+  start_l2_miss(line, ctx, std::move(action), dirty_fill);
+  return L2Route::kMiss;
+}
+
+void MemHierarchy::start_l2_miss(std::uint64_t line, const AccessContext& ctx,
+                                 L2Action action, bool dirty_fill,
+                                 bool is_prefetch) {
+  const bool miss_recorded = l2_.access(addr_of(line), dirty_fill);
+  MOCA_CHECK(!miss_recorded);
+  L2Entry& entry = l2_mshr_[line];
+  if (action) entry.actions.push_back(std::move(action));
+  entry.dirty_fill |= dirty_fill;
+  if (is_prefetch) {
+    ++stats_.prefetches;
+  } else {
+    ++stats_.llc_misses;
+    if (miss_observer_) miss_observer_(ctx);
+  }
+
+  // The (demand or prefetch) read leaves after the L2 lookup latency.
+  events_.schedule(now() + l2_latency_, [this, line] {
+    backend_(addr_of(line), /*is_write=*/false,
+             [this, line](TimePs when) { on_memory_fill(line, when); });
+  });
+
+  if (!is_prefetch) maybe_prefetch(line);
+}
+
+void MemHierarchy::maybe_prefetch(std::uint64_t line) {
+  for (std::uint32_t d = 1; d <= prefetch_degree_; ++d) {
+    const std::uint64_t next = line + d;
+    if (l2_mshr_.size() >= l2_.config().mshrs) return;  // never defer
+    if (l2_.contains(addr_of(next)) || l2_mshr_.contains(next)) continue;
+    ++stats_.l2_accesses;
+    start_l2_miss(next, AccessContext{}, nullptr, /*dirty_fill=*/false,
+                  /*is_prefetch=*/true);
+  }
+}
+
+void MemHierarchy::on_memory_fill(std::uint64_t line, TimePs when) {
+  auto it = l2_mshr_.find(line);
+  MOCA_CHECK_MSG(it != l2_mshr_.end(), "memory fill without L2 MSHR entry");
+  L2Entry entry = std::move(it->second);
+  l2_mshr_.erase(it);
+
+  fill_l2(line, entry.dirty_fill, when);
+  for (L2Action& action : entry.actions) action(when);
+  drain_deferred();
+}
+
+void MemHierarchy::fill_l2(std::uint64_t line, bool dirty, TimePs when) {
+  (void)when;
+  const Cache::Evicted victim = l2_.fill(addr_of(line), dirty);
+  if (victim.valid && victim.dirty) {
+    ++stats_.writebacks;
+    backend_(victim.line_addr, /*is_write=*/true, nullptr);
+  }
+}
+
+void MemHierarchy::finish_l1_fill(std::uint64_t line, TimePs when) {
+  auto it = l1_mshr_.find(line);
+  MOCA_CHECK_MSG(it != l1_mshr_.end(), "L1 fill without MSHR entry");
+  L1Entry entry = std::move(it->second);
+  l1_mshr_.erase(it);
+
+  const Cache::Evicted victim = l1_.fill(addr_of(line), entry.store_merge);
+  if (victim.valid && victim.dirty) {
+    write_dirty_victim_to_l2(victim.line_addr);
+  }
+  for (LoadCallback& cb : entry.waiters) cb(when);
+}
+
+void MemHierarchy::write_dirty_victim_to_l2(std::uint64_t victim_line_addr) {
+  ++stats_.l2_accesses;
+  if (l2_.contains(victim_line_addr)) {
+    const bool hit = l2_.access(victim_line_addr, /*is_write=*/true);
+    MOCA_CHECK(hit);
+    return;
+  }
+  if (auto it = l2_mshr_.find(line_of(victim_line_addr));
+      it != l2_mshr_.end()) {
+    it->second.dirty_fill = true;  // fold into the in-flight fill
+    return;
+  }
+  // L2 already lost the line: forward straight to memory, no allocation.
+  ++stats_.writebacks;
+  backend_(victim_line_addr, /*is_write=*/true, nullptr);
+}
+
+void MemHierarchy::drain_deferred() {
+  while (!l2_deferred_.empty() && l2_mshr_.size() < l2_.config().mshrs) {
+    Deferred d = std::move(l2_deferred_.front());
+    l2_deferred_.pop_front();
+    (void)route_to_l2(d.line, d.ctx, std::move(d.action), d.dirty_fill);
+  }
+}
+
+}  // namespace moca::cache

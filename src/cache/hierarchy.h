@@ -1,0 +1,188 @@
+// Two-level private cache hierarchy with MSHRs (Table I).
+//
+// Policy summary:
+//  - L1D: write-back, write-allocate-on-load only (store misses bypass L1
+//    and allocate at L2, a write-around simplification that keeps the L1
+//    MSHRs available for loads).
+//  - L2 (the LLC): write-back, write-allocate; 20-entry MSHR file with
+//    same-line merging; misses that find the MSHR file full are deferred
+//    and replayed as entries free up.
+//  - Timing: L1 hit 2 cycles, L2 hit 20 cycles, LLC miss = 20 cycles + DRAM.
+//  - Dirty L2 victims are written back to memory; dirty L1 victims are
+//    folded into L2 (or forwarded to memory if L2 no longer has the line).
+//
+// The hierarchy reports every demand LLC miss to an observer with its
+// AccessContext — this is the hook MOCA's profiler uses to attribute
+// misses to memory objects (Sec. IV-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/event_queue.h"
+#include "common/time.h"
+
+namespace moca::cache {
+
+/// Sentinel object id for accesses that belong to no named heap object.
+inline constexpr std::uint64_t kNoObject = ~0ULL;
+
+/// Attribution tags carried by every memory access.
+struct AccessContext {
+  std::uint32_t core = 0;
+  std::uint32_t process = 0;
+  std::uint64_t object = kNoObject;
+  /// Virtual address of the access (page-grain consumers: the dynamic
+  /// page-migration baseline tracks per-page heat with it).
+  std::uint64_t vaddr = 0;
+  /// os::Segment of the access (stored as its integer value to keep this
+  /// header free of OS dependencies); used for Fig. 16 attribution.
+  std::uint8_t segment = 0;
+  bool is_load = true;
+};
+
+/// Synchronous outcome of issuing a load.
+enum class IssueResult {
+  kNoMshr,   // all L1 MSHRs busy; caller must retry later
+  kL1Hit,    // completes in L1 latency
+  kL2Hit,    // completes in L2 latency
+  kLlcMiss,  // goes to DRAM; completion via callback
+};
+
+struct HierarchyStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_load_hits = 0;
+  std::uint64_t l1_load_merges = 0;  // loads absorbed by a pending L1 miss
+  std::uint64_t l2_hits = 0;
+  std::uint64_t llc_misses = 0;  // demand fills sent to memory
+  std::uint64_t writebacks = 0;  // dirty lines written to memory
+  std::uint64_t prefetches = 0;  // prefetch fills sent to memory
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l2_accesses = 0;
+
+  /// Subtracts a warmup-snapshot baseline (all counters are monotonic).
+  HierarchyStats& operator-=(const HierarchyStats& o) {
+    loads -= o.loads;
+    stores -= o.stores;
+    l1_load_hits -= o.l1_load_hits;
+    l1_load_merges -= o.l1_load_merges;
+    l2_hits -= o.l2_hits;
+    llc_misses -= o.llc_misses;
+    writebacks -= o.writebacks;
+    prefetches -= o.prefetches;
+    l1_accesses -= o.l1_accesses;
+    l2_accesses -= o.l2_accesses;
+    return *this;
+  }
+};
+
+/// One core's private L1D + L2 and their miss machinery.
+class MemHierarchy {
+ public:
+  /// Issues a line access to memory; `on_complete` fires at data return.
+  /// `on_complete` may be empty for writebacks.
+  using Backend = std::function<void(std::uint64_t paddr, bool is_write,
+                                     std::function<void(TimePs)> on_complete)>;
+  using LoadCallback = std::function<void(TimePs done)>;
+  using MissObserver = std::function<void(const AccessContext&)>;
+
+  MemHierarchy(const CacheConfig& l1_config, const CacheConfig& l2_config,
+               EventQueue& events, Backend backend);
+
+  MemHierarchy(const MemHierarchy&) = delete;
+  MemHierarchy& operator=(const MemHierarchy&) = delete;
+
+  /// Starts a load at the current event-queue time. On kNoMshr nothing was
+  /// recorded and the caller should retry. Otherwise `cb` fires exactly once
+  /// at completion time.
+  IssueResult issue_load(std::uint64_t paddr, const AccessContext& ctx,
+                         LoadCallback cb);
+
+  /// Retires a store. Never rejected: store misses that cannot get an L2
+  /// MSHR wait in an internal queue.
+  void issue_store(std::uint64_t paddr, const AccessContext& ctx);
+
+  /// Installs the demand-LLC-miss observer (at most one; MOCA's profiler).
+  void set_llc_miss_observer(MissObserver observer) {
+    miss_observer_ = std::move(observer);
+  }
+
+  /// Enables a next-line prefetcher at L2: each demand miss to line X also
+  /// fetches X+1..X+degree when absent and MSHRs allow. Off by default
+  /// (the paper's Table I machine has no prefetcher).
+  void enable_next_line_prefetch(std::uint32_t degree) {
+    prefetch_degree_ = degree;
+  }
+
+  [[nodiscard]] const HierarchyStats& stats() const { return stats_; }
+  [[nodiscard]] const Cache& l1() const { return l1_; }
+  [[nodiscard]] const Cache& l2() const { return l2_; }
+  [[nodiscard]] std::size_t l1_mshrs_in_use() const {
+    return l1_mshr_.size();
+  }
+  [[nodiscard]] std::size_t l2_mshrs_in_use() const {
+    return l2_mshr_.size();
+  }
+  [[nodiscard]] std::size_t deferred_requests() const {
+    return l2_deferred_.size();
+  }
+
+ private:
+  /// Runs when the line is available at L2 level (fill done or L2 hit).
+  using L2Action = std::function<void(TimePs when)>;
+
+  struct L1Entry {
+    std::vector<LoadCallback> waiters;
+    bool store_merge = false;  // a store targets the line being filled
+    bool llc_miss = false;     // fill comes from DRAM, not L2
+  };
+  struct L2Entry {
+    std::vector<L2Action> actions;
+    bool dirty_fill = false;  // a store allocated/joined this fill
+  };
+  struct Deferred {
+    std::uint64_t line = 0;
+    AccessContext ctx;
+    L2Action action;  // empty for pure store fills
+    bool dirty_fill = false;
+  };
+
+  enum class L2Route { kHit, kMiss };
+
+  /// Sends a line-granularity request toward L2/memory. `action` (if any)
+  /// runs when the line is available at L2; `dirty_fill` marks the fill
+  /// dirty (store allocation).
+  L2Route route_to_l2(std::uint64_t line, const AccessContext& ctx,
+                      L2Action action, bool dirty_fill);
+  void start_l2_miss(std::uint64_t line, const AccessContext& ctx,
+                     L2Action action, bool dirty_fill,
+                     bool is_prefetch = false);
+  void maybe_prefetch(std::uint64_t line);
+  void on_memory_fill(std::uint64_t line, TimePs when);
+  void finish_l1_fill(std::uint64_t line, TimePs when);
+  void fill_l2(std::uint64_t line, bool dirty, TimePs when);
+  void drain_deferred();
+  void write_dirty_victim_to_l2(std::uint64_t victim_line_addr);
+
+  [[nodiscard]] TimePs now() const { return events_.now(); }
+
+  Cache l1_;
+  Cache l2_;
+  EventQueue& events_;
+  Backend backend_;
+  MissObserver miss_observer_;
+  std::unordered_map<std::uint64_t, L1Entry> l1_mshr_;  // keyed by line index
+  std::unordered_map<std::uint64_t, L2Entry> l2_mshr_;
+  std::deque<Deferred> l2_deferred_;
+  HierarchyStats stats_;
+  TimePs l1_latency_;
+  TimePs l2_latency_;
+  std::uint32_t prefetch_degree_ = 0;
+};
+
+}  // namespace moca::cache

@@ -1,0 +1,51 @@
+// Lightweight runtime-checked assertions used across the library.
+//
+// MOCA_CHECK is always on (simulator correctness depends on it); failures
+// throw moca::CheckError so tests can assert on misuse and callers can
+// recover cleanly instead of aborting the host process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace moca {
+
+/// Thrown when a MOCA_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace moca
+
+/// Checks `cond`; on failure throws moca::CheckError with location info.
+#define MOCA_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::moca::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+    }                                                                 \
+  } while (0)
+
+/// Like MOCA_CHECK but appends a streamed message, e.g.
+/// MOCA_CHECK_MSG(x > 0, "x=" << x).
+#define MOCA_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream moca_check_os_;                                   \
+      moca_check_os_ << stream_expr;                                       \
+      ::moca::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                   moca_check_os_.str());                  \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,77 @@
+// Discrete-event scheduler used for memory-side timing.
+//
+// CPU cores are stepped cycle-by-cycle by sim::System; everything slower or
+// asynchronous (DRAM command completion, controller wake-ups, refresh) is
+// scheduled here at picosecond resolution. Events at equal timestamps run in
+// insertion order, which keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace moca {
+
+/// Min-heap of (time, callback) with FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when` (>= current time).
+  void schedule(TimePs when, Callback cb) {
+    MOCA_CHECK_MSG(when >= now_, "scheduling into the past: when=" << when
+                                                                   << " now="
+                                                                   << now_);
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  /// Runs every event with timestamp <= `until`, advancing current time.
+  /// Events may schedule further events, including at the current time.
+  void run_until(TimePs until) {
+    while (!heap_.empty() && heap_.top().when <= until) {
+      // Copy out before pop so the callback may schedule new events.
+      Event ev = heap_.top();
+      heap_.pop();
+      MOCA_CHECK(ev.when >= now_);
+      now_ = ev.when;
+      ev.cb();
+    }
+    now_ = std::max(now_, until);
+  }
+
+  /// Current simulation time (last executed event or run_until bound).
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the next pending event; only valid when !empty().
+  [[nodiscard]] TimePs next_time() const {
+    MOCA_CHECK(!heap_.empty());
+    return heap_.top().when;
+  }
+
+ private:
+  struct Event {
+    TimePs when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  TimePs now_ = 0;
+};
+
+}  // namespace moca

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (workload generators, pattern
+// state, synthetic call stacks) draws from an explicitly seeded Rng instance;
+// there is no global RNG state, so identical seeds reproduce identical
+// simulations bit-for-bit. The generator is xoshiro256**, seeded via
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+namespace moca {
+
+/// Stateless SplitMix64 step; also useful as a cheap integer hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic xoshiro256** PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm = splitmix64(sm);
+      word = sm;
+      sm += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero. The tiny modulo
+  /// bias is irrelevant for workload generation and keeps the mapping
+  /// portable and deterministic.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace moca

@@ -1,0 +1,54 @@
+// Small statistics accumulators shared by simulator components.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace moca {
+
+/// Streaming mean/min/max/sum accumulator (Welford variance included so
+/// benches can report dispersion without retaining samples).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Computes a safe ratio, returning 0 when the denominator is 0.
+[[nodiscard]] inline double safe_div(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+/// Misses-per-kilo-instruction helper.
+[[nodiscard]] inline double mpki(std::uint64_t misses,
+                                 std::uint64_t instructions) {
+  return safe_div(static_cast<double>(misses) * 1000.0,
+                  static_cast<double>(instructions));
+}
+
+}  // namespace moca

@@ -1,0 +1,37 @@
+// Console table printer used by the benchmark harnesses to emit the
+// rows/series of each paper figure in a readable, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moca {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so bench output is stable across runs of equal seeds.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+
+  /// Renders with padded columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by Table and ad-hoc output).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+}  // namespace moca

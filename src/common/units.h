@@ -1,0 +1,24 @@
+// Byte-size unit helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace moca {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// Page size used by the simulated OS (4 KiB, matching the paper's Linux).
+inline constexpr std::uint64_t kPageBytes = 4 * KiB;
+inline constexpr std::uint64_t kPageShift = 12;
+
+/// Cache line size used throughout (Table I: 64 B lines at L1 and L2).
+inline constexpr std::uint64_t kLineBytes = 64;
+inline constexpr std::uint64_t kLineShift = 6;
+
+[[nodiscard]] constexpr double bytes_to_gib(std::uint64_t b) {
+  return static_cast<double>(b) / static_cast<double>(GiB);
+}
+
+}  // namespace moca

@@ -1,0 +1,308 @@
+#include "cpu/core.h"
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace moca::cpu {
+
+Core::Core(std::uint32_t core_id, const CoreParams& params, OpStream& stream,
+           cache::MemHierarchy& hierarchy, os::Os& os, os::ProcessId pid,
+           EventQueue& events)
+    : core_id_(core_id),
+      params_(params),
+      stream_(stream),
+      hierarchy_(hierarchy),
+      os_(os),
+      pid_(pid),
+      events_(events),
+      tlb_(params.tlb_entries) {
+  MOCA_CHECK(params_.rob_entries > 0 && params_.width > 0);
+  MOCA_CHECK(params_.page_walk_cycles <
+             static_cast<Cycle>(kWheelSize));
+  rob_.resize(params_.rob_entries);
+  wheel_.resize(kWheelSize);
+}
+
+void Core::step() {
+  if (done()) return;
+  run_wheel();
+  do_commit();
+  do_issue();
+  do_dispatch();
+  ++stats_.cycles;
+  if (done()) finish_cycle_ = stats_.cycles;
+}
+
+void Core::schedule_wheel(Cycle at, WheelItem item) {
+  MOCA_CHECK(at > stats_.cycles &&
+             at - stats_.cycles < static_cast<Cycle>(kWheelSize));
+  wheel_[static_cast<std::size_t>(at % kWheelSize)].push_back(item);
+}
+
+void Core::run_wheel() {
+  auto& bucket = wheel_[static_cast<std::size_t>(stats_.cycles % kWheelSize)];
+  for (const WheelItem& item : bucket) {
+    Entry& e = slot(item.seq);
+    if (!e.valid || e.seq != item.seq) continue;  // flushed/committed
+    if (item.is_completion) {
+      complete(item.seq);
+    } else {
+      ready_.push_front(item.seq);  // page walk finished; issue soon
+    }
+  }
+  bucket.clear();
+}
+
+void Core::complete(std::uint64_t seq) {
+  Entry& e = slot(seq);
+  MOCA_CHECK(e.valid && e.seq == seq && !e.done);
+  e.done = true;
+  wake_dependents(e);
+}
+
+void Core::wake_dependents(Entry& entry) {
+  for (const std::uint64_t dep_seq : entry.dependents) {
+    Entry& d = slot(dep_seq);
+    if (!d.valid || d.seq != dep_seq) continue;
+    MOCA_CHECK(d.deps_remaining > 0);
+    if (--d.deps_remaining == 0 && !d.issued) make_ready(d);
+  }
+  entry.dependents.clear();
+}
+
+void Core::make_ready(Entry& entry) {
+  // In-order mode issues by walking program order directly; no ready queue.
+  if (params_.in_order) return;
+  // Loads whose page walk (started at dispatch) is still in flight become
+  // issue-eligible when it returns.
+  if (entry.op.kind == OpKind::kLoad && entry.walk_done > stats_.cycles) {
+    schedule_wheel(entry.walk_done, WheelItem{entry.seq, false});
+    return;
+  }
+  ready_.push_back(entry.seq);
+}
+
+std::uint64_t Core::translate(std::uint64_t vaddr, bool* walked) {
+  const os::Vpn vpn = vaddr >> kPageShift;
+  if (const auto pfn = tlb_.lookup(pid_, vpn)) {
+    ++stats_.tlb_hits;
+    *walked = false;
+    return (*pfn << kPageShift) | (vaddr & (kPageBytes - 1));
+  }
+  ++stats_.tlb_misses;
+  const os::Os::TranslateResult tr = os_.translate(pid_, vaddr);
+  tlb_.insert(pid_, vpn, tr.paddr >> kPageShift);
+  *walked = true;
+  return tr.paddr;
+}
+
+void Core::do_commit() {
+  for (std::uint32_t n = 0; n < params_.width; ++n) {
+    if (committed_ >= dispatched_) return;  // ROB empty
+    Entry& head = slot(committed_);
+    MOCA_CHECK(head.valid && head.seq == committed_);
+    if (!head.done) {
+      if (head.op.kind == OpKind::kLoad && head.issued && head.llc_miss) {
+        ++stats_.rob_head_stall_cycles;
+        if (stall_observer_) stall_observer_(head.op.object);
+      }
+      return;
+    }
+    if (head.op.kind == OpKind::kStore) retire_store(head);
+    if (head.op.kind == OpKind::kLoad) {
+      MOCA_CHECK(lq_used_ > 0);
+      --lq_used_;
+    }
+    head.valid = false;
+    ++committed_;
+    ++stats_.committed;
+    if (done()) return;
+  }
+}
+
+void Core::retire_store(Entry& entry) {
+  // Address translation at retirement; the walk penalty for stores is not
+  // modelled (stores are off the critical path in this model).
+  bool walked = false;
+  const std::uint64_t paddr = translate(entry.op.vaddr, &walked);
+  cache::AccessContext ctx;
+  ctx.core = core_id_;
+  ctx.process = pid_;
+  ctx.object = entry.op.object;
+  ctx.vaddr = entry.op.vaddr;
+  ctx.segment = static_cast<std::uint8_t>(os::segment_of(entry.op.vaddr));
+  ctx.is_load = false;
+  hierarchy_.issue_store(paddr, ctx);
+}
+
+void Core::do_issue() {
+  if (params_.in_order) {
+    do_issue_in_order();
+    return;
+  }
+  std::uint32_t issued = 0;
+  std::uint32_t load_ports = 0;
+  bool mshr_full = false;
+  std::deque<std::uint64_t> deferred;
+
+  while (issued < params_.width && !ready_.empty()) {
+    const std::uint64_t seq = ready_.front();
+    ready_.pop_front();
+    Entry& e = slot(seq);
+    if (!e.valid || e.seq != seq || e.issued) continue;
+    MOCA_CHECK(e.deps_remaining == 0);
+
+    switch (e.op.kind) {
+      case OpKind::kAlu: {
+        e.issued = true;
+        ++issued;
+        schedule_wheel(stats_.cycles + std::max<Cycle>(1, e.op.latency),
+                       WheelItem{seq, /*is_completion=*/true});
+        break;
+      }
+      case OpKind::kStore: {
+        // Store "execution" is address generation; data goes out at commit.
+        e.issued = true;
+        ++issued;
+        schedule_wheel(stats_.cycles + 1, WheelItem{seq, true});
+        break;
+      }
+      case OpKind::kLoad: {
+        if (load_ports >= params_.l1_load_ports || mshr_full) {
+          deferred.push_back(seq);
+          continue;
+        }
+        ++load_ports;
+        ++issued;
+        if (!issue_load(e)) {
+          // L1 MSHRs exhausted: stop trying loads this cycle.
+          mshr_full = true;
+          ++stats_.mshr_reject_cycles;
+          deferred.push_back(seq);
+        }
+        break;
+      }
+    }
+  }
+  // Preserve age order for next cycle: deferred loads go to the front.
+  for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+    ready_.push_front(*it);
+  }
+}
+
+void Core::do_issue_in_order() {
+  // Strict program-order issue (stall-on-use): walk forward from the
+  // oldest unissued instruction; stop at the first one that cannot go.
+  std::uint32_t issued = 0;
+  std::uint32_t load_ports = 0;
+  while (issued < params_.width && next_issue_ < dispatched_) {
+    Entry& e = slot(next_issue_);
+    MOCA_CHECK(e.valid && e.seq == next_issue_);
+    if (e.issued) {
+      ++next_issue_;
+      continue;
+    }
+    if (e.deps_remaining > 0) return;
+    switch (e.op.kind) {
+      case OpKind::kAlu:
+        e.issued = true;
+        ++issued;
+        schedule_wheel(stats_.cycles + std::max<Cycle>(1, e.op.latency),
+                       WheelItem{e.seq, true});
+        break;
+      case OpKind::kStore:
+        e.issued = true;
+        ++issued;
+        schedule_wheel(stats_.cycles + 1, WheelItem{e.seq, true});
+        break;
+      case OpKind::kLoad: {
+        if (e.walk_done > stats_.cycles) return;  // page walk in flight
+        if (load_ports >= params_.l1_load_ports) return;
+        ++load_ports;
+        if (!issue_load(e)) {
+          ++stats_.mshr_reject_cycles;
+          return;
+        }
+        ++issued;
+        break;
+      }
+    }
+    ++next_issue_;
+  }
+}
+
+bool Core::issue_load(Entry& entry) {
+  MOCA_CHECK(entry.translated);  // done at dispatch
+  cache::AccessContext ctx;
+  ctx.core = core_id_;
+  ctx.process = pid_;
+  ctx.object = entry.op.object;
+  ctx.vaddr = entry.op.vaddr;
+  ctx.segment = static_cast<std::uint8_t>(os::segment_of(entry.op.vaddr));
+  ctx.is_load = true;
+  const std::uint64_t seq = entry.seq;
+  const cache::IssueResult result = hierarchy_.issue_load(
+      entry.paddr, ctx, [this, seq](TimePs) { complete(seq); });
+  if (result == cache::IssueResult::kNoMshr) return false;
+
+  entry.issued = true;
+  if (result == cache::IssueResult::kLlcMiss) {
+    entry.llc_miss = true;
+    ++stats_.load_llc_misses;
+  }
+  return true;
+}
+
+void Core::do_dispatch() {
+  for (std::uint32_t n = 0; n < params_.width; ++n) {
+    if (dispatched_ - committed_ >= rob_.size()) return;  // ROB full
+    // Peek-free model: we must know the op before checking LQ space, so
+    // buffer one fetched op across cycles when the LQ blocks dispatch.
+    if (!fetched_valid_) {
+      fetched_ = stream_.next();
+      fetched_valid_ = true;
+    }
+    if (fetched_.kind == OpKind::kLoad && lq_used_ >= params_.lq_entries) {
+      return;  // LQ full; retry next cycle
+    }
+
+    const std::uint64_t seq = dispatched_++;
+    Entry& e = slot(seq);
+    MOCA_CHECK(!e.valid);
+    e = Entry{};
+    e.op = fetched_;
+    e.seq = seq;
+    e.valid = true;
+    fetched_valid_ = false;
+
+    if (e.op.kind == OpKind::kLoad) {
+      ++lq_used_;
+      ++stats_.loads;
+      // Address translation starts at dispatch (address generation); a
+      // page walk overlaps the dispatch-to-issue slack of the window and
+      // only delays issue when it outlasts it.
+      bool walked = false;
+      e.paddr = translate(e.op.vaddr, &walked);
+      e.translated = true;
+      e.walk_done =
+          walked ? stats_.cycles + params_.page_walk_cycles : 0;
+    } else if (e.op.kind == OpKind::kStore) {
+      ++stats_.stores;
+    } else {
+      ++stats_.alu_ops;
+    }
+
+    for (const std::uint32_t dist : {e.op.dep1, e.op.dep2}) {
+      if (dist == 0 || dist > seq) continue;
+      const std::uint64_t producer_seq = seq - dist;
+      if (producer_seq < committed_) continue;  // already committed
+      Entry& p = slot(producer_seq);
+      if (!p.valid || p.seq != producer_seq || p.done) continue;
+      ++e.deps_remaining;
+      p.dependents.push_back(seq);
+    }
+    if (e.deps_remaining == 0) make_ready(e);
+  }
+}
+
+}  // namespace moca::cpu

@@ -1,0 +1,178 @@
+// Cycle-approximate out-of-order core (paper Table I).
+//
+// Width-3 dispatch/issue/commit, 84-entry ROB, 32-entry load queue, 2 L1
+// load ports, 64-entry TLB with a fixed page-walk penalty. Instructions come
+// from an OpStream; dependencies are backward distances. The model captures
+// exactly what MOCA profiles: memory-level parallelism (bounded by
+// dependencies, the LQ and the MSHR file) and ROB-head stall cycles blocked
+// on LLC-missing loads, attributed per memory object.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/event_queue.h"
+#include "common/time.h"
+#include "cpu/microop.h"
+#include "os/os.h"
+#include "os/page_table.h"
+
+namespace moca::cpu {
+
+struct CoreParams {
+  std::uint32_t rob_entries = 84;
+  std::uint32_t lq_entries = 32;
+  std::uint32_t width = 3;
+  std::uint32_t l1_load_ports = 2;
+  std::uint32_t tlb_entries = 64;
+  Cycle page_walk_cycles = 50;
+  /// In-order issue (stall-on-use): instructions issue strictly in program
+  /// order, completions still overlap. Models the simpler cores of the
+  /// paper's embedded-systems motivation; bench/ablation_inorder compares.
+  bool in_order = false;
+};
+
+struct CoreStats {
+  std::uint64_t committed = 0;
+  Cycle cycles = 0;
+  std::uint64_t alu_ops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// Loads whose data came from DRAM (primary or merged LLC misses).
+  std::uint64_t load_llc_misses = 0;
+  /// Cycles commit was blocked by an incomplete LLC-missing load at the ROB
+  /// head — the paper's MLP metric numerator (Sec. III-A).
+  Cycle rob_head_stall_cycles = 0;
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t mshr_reject_cycles = 0;  // cycles load issue hit full MSHRs
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed) /
+                             static_cast<double>(cycles);
+  }
+
+  /// Subtracts a warmup-snapshot baseline (all counters are monotonic).
+  CoreStats& operator-=(const CoreStats& o) {
+    committed -= o.committed;
+    cycles -= o.cycles;
+    alu_ops -= o.alu_ops;
+    loads -= o.loads;
+    stores -= o.stores;
+    load_llc_misses -= o.load_llc_misses;
+    rob_head_stall_cycles -= o.rob_head_stall_cycles;
+    tlb_hits -= o.tlb_hits;
+    tlb_misses -= o.tlb_misses;
+    mshr_reject_cycles -= o.mshr_reject_cycles;
+    return *this;
+  }
+};
+
+/// One simulated core bound to a process and a private cache hierarchy.
+class Core {
+ public:
+  /// Fired once per cycle the ROB head stalls on an LLC-missing load, with
+  /// that load's object tag (profiler hook).
+  using StallObserver = std::function<void(std::uint64_t object)>;
+
+  Core(std::uint32_t core_id, const CoreParams& params, OpStream& stream,
+       cache::MemHierarchy& hierarchy, os::Os& os, os::ProcessId pid,
+       EventQueue& events);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// Runs until `instructions` have committed.
+  void set_budget(std::uint64_t instructions) { budget_ = instructions; }
+  [[nodiscard]] bool done() const { return stats_.committed >= budget_; }
+
+  /// Advances one cycle. The caller must have drained the event queue up to
+  /// this cycle's timestamp first.
+  void step();
+
+  void set_stall_observer(StallObserver observer) {
+    stall_observer_ = std::move(observer);
+  }
+
+  /// TLB shootdown (page migration). In-flight loads keep their already-
+  /// translated physical addresses — the handful of accesses in the window
+  /// may still hit the old frame, matching real shootdown latency slack.
+  void flush_tlb() { tlb_.flush(); }
+
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t id() const { return core_id_; }
+  [[nodiscard]] os::ProcessId pid() const { return pid_; }
+  [[nodiscard]] Cycle current_cycle() const { return stats_.cycles; }
+  /// Cycle at which the instruction budget was reached (== cycles while
+  /// still running).
+  [[nodiscard]] Cycle finish_cycle() const { return finish_cycle_; }
+
+ private:
+  struct Entry {
+    MicroOp op;
+    std::uint64_t seq = 0;
+    std::uint64_t paddr = 0;
+    Cycle walk_done = 0;  // loads: cycle their page walk completes
+    bool valid = false;
+    bool done = false;
+    bool issued = false;
+    bool translated = false;
+    bool llc_miss = false;
+    std::uint8_t deps_remaining = 0;
+    std::vector<std::uint64_t> dependents;  // consumer seq numbers
+  };
+  // Delayed micro-events inside the core (ALU completion, page-walk done).
+  struct WheelItem {
+    std::uint64_t seq = 0;
+    bool is_completion = false;  // else: load becomes ready to issue
+  };
+
+  static constexpr std::uint32_t kWheelSize = 128;
+
+  [[nodiscard]] Entry& slot(std::uint64_t seq) {
+    return rob_[seq % rob_.size()];
+  }
+  void run_wheel();
+  void do_commit();
+  void do_issue();
+  void do_issue_in_order();
+  void do_dispatch();
+  void complete(std::uint64_t seq);
+  void wake_dependents(Entry& entry);
+  void make_ready(Entry& entry);
+  bool issue_load(Entry& entry);
+  void retire_store(Entry& entry);
+  void schedule_wheel(Cycle at, WheelItem item);
+  /// TLB lookup + (on miss) page walk; returns the physical address and
+  /// whether a walk was needed.
+  std::uint64_t translate(std::uint64_t vaddr, bool* walked);
+
+  std::uint32_t core_id_;
+  CoreParams params_;
+  OpStream& stream_;
+  cache::MemHierarchy& hierarchy_;
+  os::Os& os_;
+  os::ProcessId pid_;
+  EventQueue& events_;
+  os::Tlb tlb_;
+
+  std::vector<Entry> rob_;
+  std::uint64_t dispatched_ = 0;  // next seq to dispatch
+  std::uint64_t committed_ = 0;   // next seq to commit
+  std::uint64_t next_issue_ = 0;  // in-order mode: next seq to issue
+  std::uint32_t lq_used_ = 0;
+  std::deque<std::uint64_t> ready_;
+  std::vector<std::vector<WheelItem>> wheel_;
+  MicroOp fetched_;          // one-op fetch buffer (LQ back-pressure)
+  bool fetched_valid_ = false;
+  std::uint64_t budget_ = 0;
+  Cycle finish_cycle_ = 0;
+  StallObserver stall_observer_;
+  CoreStats stats_;
+};
+
+}  // namespace moca::cpu

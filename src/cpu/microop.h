@@ -1,0 +1,36 @@
+// The micro-op "ISA" executed by the core model.
+//
+// Workload generators emit an infinite stream of these; dependencies are
+// expressed as backward distances in program order, which is all the
+// out-of-order timing model needs. Loads/stores carry virtual addresses and
+// a memory-object attribution tag.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/hierarchy.h"
+
+namespace moca::cpu {
+
+enum class OpKind : std::uint8_t { kAlu, kLoad, kStore };
+
+struct MicroOp {
+  OpKind kind = OpKind::kAlu;
+  std::uint8_t latency = 1;  // ALU execution latency in cycles
+  /// Backward dependency distances in instructions (0 = none). A dependency
+  /// on an already-committed producer is trivially satisfied.
+  std::uint32_t dep1 = 0;
+  std::uint32_t dep2 = 0;
+  std::uint64_t vaddr = 0;                    // loads/stores only
+  std::uint64_t object = cache::kNoObject;    // attribution tag
+};
+
+/// Infinite instruction source driving one core.
+class OpStream {
+ public:
+  virtual ~OpStream() = default;
+  /// Produces the next op in program order.
+  virtual MicroOp next() = 0;
+};
+
+}  // namespace moca::cpu

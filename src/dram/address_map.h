@@ -1,0 +1,76 @@
+// Module-local physical address decomposition.
+//
+// Table I specifies RoRaBaChCo mapping: from MSB to LSB the address is
+// Row | Rank | Bank | Channel | Column. With a single rank per module this
+// means consecutive row-buffer-sized blocks rotate first across channels,
+// then across banks, then advance the row — spreading sequential traffic
+// over all channels of a module.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "dram/timings.h"
+
+namespace moca::dram {
+
+/// Decoded coordinates of a module-local physical address.
+struct DramCoord {
+  std::uint32_t channel = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint64_t column = 0;  // byte offset within the row buffer
+};
+
+/// Address decoder for one module. Channels rotate at the interleave
+/// granule (default: one row buffer, the RoRaBaChCo mapping); within a
+/// channel, banks rotate at row-buffer granularity and rows advance above
+/// them.
+class AddressMap {
+ public:
+  AddressMap(const DeviceGeometry& geometry, std::uint32_t num_channels)
+      : row_bytes_(geometry.row_bytes),
+        granule_(geometry.interleave_granule_bytes != 0
+                     ? geometry.interleave_granule_bytes
+                     : geometry.row_bytes),
+        num_channels_(num_channels),
+        num_banks_(geometry.banks_per_channel) {
+    MOCA_CHECK(row_bytes_ > 0 && num_channels_ > 0 && num_banks_ > 0);
+    MOCA_CHECK_MSG(granule_ > 0, "interleave granule must be positive");
+  }
+
+  [[nodiscard]] DramCoord decode(std::uint64_t addr) const {
+    DramCoord c;
+    const std::uint64_t offset = addr % granule_;
+    std::uint64_t block = addr / granule_;
+    c.channel = static_cast<std::uint32_t>(block % num_channels_);
+    const std::uint64_t within = (block / num_channels_) * granule_ + offset;
+    c.column = within % row_bytes_;
+    c.bank = static_cast<std::uint32_t>((within / row_bytes_) % num_banks_);
+    c.row = within / (row_bytes_ * num_banks_);
+    return c;
+  }
+
+  /// Inverse of decode(); used by tests to prove the mapping is a bijection.
+  [[nodiscard]] std::uint64_t encode(const DramCoord& c) const {
+    const std::uint64_t within =
+        (c.row * num_banks_ + c.bank) * row_bytes_ + c.column;
+    const std::uint64_t offset = within % granule_;
+    const std::uint64_t block =
+        (within / granule_) * num_channels_ + c.channel;
+    return block * granule_ + offset;
+  }
+
+  [[nodiscard]] std::uint32_t num_channels() const { return num_channels_; }
+  [[nodiscard]] std::uint32_t num_banks() const { return num_banks_; }
+  [[nodiscard]] std::uint64_t row_bytes() const { return row_bytes_; }
+  [[nodiscard]] std::uint64_t granule() const { return granule_; }
+
+ private:
+  std::uint64_t row_bytes_;
+  std::uint64_t granule_;
+  std::uint32_t num_channels_;
+  std::uint32_t num_banks_;
+};
+
+}  // namespace moca::dram

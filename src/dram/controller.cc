@@ -1,0 +1,191 @@
+#include "dram/controller.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace moca::dram {
+
+ChannelController::ChannelController(const DeviceConfig& config,
+                                     EventQueue& events, std::string name)
+    : config_(config), events_(events), name_(std::move(name)) {
+  MOCA_CHECK(config_.geometry.banks_per_channel > 0);
+  banks_.resize(config_.geometry.banks_per_channel);
+  const std::uint64_t bpb = config_.bytes_per_burst();
+  MOCA_CHECK(bpb > 0);
+  bursts_per_line_ = static_cast<std::uint32_t>((kLineBytes + bpb - 1) / bpb);
+  // No phantom ACT history at t=0: pre-date the tFAW window.
+  act_ring_.fill(-config_.timings.tFAW - 1);
+  // Kick off the periodic refresh train.
+  events_.schedule(config_.timings.tREFI, [this] { do_refresh(); });
+}
+
+double ChannelController::peak_bandwidth_bytes_per_s() const {
+  const double bytes = static_cast<double>(config_.bytes_per_burst());
+  const double seconds = ps_to_seconds(config_.burst_time());
+  return bytes / seconds;
+}
+
+void ChannelController::enqueue(DramRequest request, std::uint32_t bank,
+                                std::uint64_t row) {
+  MOCA_CHECK_MSG(bank < banks_.size(), "bank " << bank << " out of range");
+  MOCA_CHECK(request.arrival <= events_.now());
+  queue_.push_back(Pending{std::move(request), bank, row});
+  pump();
+}
+
+bool ChannelController::is_row_hit(const Pending& p) const {
+  return config_.geometry.open_page &&
+         banks_[p.bank].open_row == static_cast<std::int64_t>(p.row);
+}
+
+TimePs ChannelController::earliest_start(const Pending& p, TimePs now) const {
+  const BankState& b = banks_[p.bank];
+  if (is_row_hit(p)) return std::max(now, b.col_ready);
+  if (b.open_row < 0) return std::max(now, b.act_ready);
+  return std::max(now, b.pre_ready);  // conflict: PRE first
+}
+
+void ChannelController::pump() {
+  const TimePs now = events_.now();
+  while (!queue_.empty()) {
+    // FR-FCFS with anti-starvation: if the oldest request has waited past
+    // the age cap, serve it next regardless of row-hit status.
+    std::size_t best = queue_.size();
+    bool best_hit = false;
+    TimePs min_future = std::numeric_limits<TimePs>::max();
+    if (now - queue_.front().req.arrival > kStarvationLimitPs) {
+      const TimePs start = earliest_start(queue_.front(), now);
+      if (start <= now) {
+        best = 0;
+      } else {
+        min_future = start;
+      }
+    } else {
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Pending& p = queue_[i];
+        const TimePs start = earliest_start(p, now);
+        if (start > now) {
+          min_future = std::min(min_future, start);
+          continue;
+        }
+        const bool hit = is_row_hit(p);
+        if (best == queue_.size() || (hit && !best_hit)) {
+          best = i;
+          best_hit = hit;
+          if (hit) break;  // oldest ready row hit wins outright
+        }
+      }
+    }
+    if (best == queue_.size()) {
+      if (min_future != std::numeric_limits<TimePs>::max()) {
+        schedule_wake(min_future);
+      }
+      return;
+    }
+    Pending chosen = std::move(queue_[best]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    issue(std::move(chosen), now);
+  }
+}
+
+void ChannelController::issue(Pending pending, TimePs first_cmd) {
+  BankState& bank = banks_[pending.bank];
+  const DeviceTimings& t = config_.timings;
+  TimePs col_cmd = 0;
+
+  // tFAW: a new ACT must wait until the oldest of the last four ACTs
+  // leaves the four-activate window.
+  const TimePs faw_ready =
+      t.tFAW > 0 ? act_ring_[act_ring_idx_] + t.tFAW : 0;
+  const auto record_act = [this](TimePs act) {
+    act_ring_[act_ring_idx_] = act;
+    act_ring_idx_ = (act_ring_idx_ + 1) % act_ring_.size();
+  };
+
+  if (is_row_hit(pending)) {
+    ++stats_.row_hits;
+    col_cmd = std::max(first_cmd, bank.col_ready);
+  } else if (bank.open_row < 0) {
+    ++stats_.row_misses;
+    const TimePs act =
+        std::max({first_cmd, bank.act_ready, faw_ready});
+    record_act(act);
+    col_cmd = act + t.tRCD;
+    bank.act_ready = act + t.tRC;
+    bank.pre_ready = act + t.tRAS;
+    bank.open_row = config_.geometry.open_page
+                        ? static_cast<std::int64_t>(pending.row)
+                        : -1;
+  } else {
+    ++stats_.row_conflicts;
+    const TimePs pre = std::max(first_cmd, bank.pre_ready);
+    const TimePs act = std::max({pre + t.tRP, bank.act_ready, faw_ready});
+    record_act(act);
+    col_cmd = act + t.tRCD;
+    bank.act_ready = act + t.tRC;
+    bank.pre_ready = act + t.tRAS;
+    bank.open_row = config_.geometry.open_page
+                        ? static_cast<std::int64_t>(pending.row)
+                        : -1;
+  }
+
+  // Data-bus turnaround on read/write direction change.
+  const TimePs turnaround =
+      pending.req.is_write != last_burst_write_
+          ? (pending.req.is_write ? t.tRTW : t.tWTR)
+          : 0;
+  last_burst_write_ = pending.req.is_write;
+
+  const TimePs transfer = config_.burst_time() * bursts_per_line_;
+  const TimePs data_start =
+      std::max(col_cmd + t.tCL, bus_free_ + turnaround);
+  const TimePs data_end = data_start + transfer;
+  bank.col_ready = std::max(bank.col_ready, col_cmd + transfer);
+  bus_free_ = data_end;
+
+  if (pending.req.is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  stats_.queue_time_ps += first_cmd - pending.req.arrival;
+  stats_.service_time_ps += data_end - first_cmd;
+  stats_.bus_busy_ps += transfer;
+  stats_.record_latency(data_end - pending.req.arrival);
+
+  if (pending.req.on_complete) {
+    events_.schedule(data_end,
+                     [cb = std::move(pending.req.on_complete), data_end] {
+                       cb(data_end);
+                     });
+  }
+}
+
+void ChannelController::do_refresh() {
+  const TimePs now = events_.now();
+  ++stats_.refreshes;
+  for (BankState& b : banks_) {
+    // All banks are precharged and blocked for tRFC.
+    b.open_row = -1;
+    b.act_ready = std::max(b.act_ready, now + config_.timings.tRFC);
+    b.col_ready = std::max(b.col_ready, now + config_.timings.tRFC);
+    b.pre_ready = std::max(b.pre_ready, now + config_.timings.tRFC);
+  }
+  events_.schedule(now + config_.timings.tREFI, [this] { do_refresh(); });
+  if (!queue_.empty()) schedule_wake(now + config_.timings.tRFC);
+}
+
+void ChannelController::schedule_wake(TimePs when) {
+  MOCA_CHECK(when > events_.now());
+  if (wake_at_ >= 0 && wake_at_ <= when) return;  // earlier wake pending
+  wake_at_ = when;
+  events_.schedule(when, [this, when] {
+    if (wake_at_ == when) wake_at_ = -1;
+    pump();
+  });
+}
+
+}  // namespace moca::dram

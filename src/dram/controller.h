@@ -1,0 +1,87 @@
+// FR-FCFS memory channel controller (Table I: FR-FCFS scheduling).
+//
+// Timing model, per bank:
+//   - row hit:      COL at bank.col_ready              -> data after tCL
+//   - bank closed:  ACT at bank.act_ready, COL +tRCD   -> data after tCL
+//   - row conflict: PRE at bank.pre_ready, ACT +tRP (and >= act_ready), ...
+// ACT-to-ACT spacing is tRC, ACT-to-PRE is tRAS, column commands are spaced
+// by the burst occupancy. All data bursts of a channel serialize on one data
+// bus. Refresh blocks every bank for tRFC every tREFI. Scheduling is
+// first-ready row-hit-first with an anti-starvation age cap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/event_queue.h"
+#include "common/time.h"
+#include "dram/timings.h"
+#include "dram/types.h"
+
+namespace moca::dram {
+
+/// One memory channel: a bank array plus a shared data bus, fed by an
+/// arrival queue and drained by FR-FCFS scheduling. Completion callbacks are
+/// delivered through the shared EventQueue at data-return time.
+class ChannelController {
+ public:
+  ChannelController(const DeviceConfig& config, EventQueue& events,
+                    std::string name);
+
+  ChannelController(const ChannelController&) = delete;
+  ChannelController& operator=(const ChannelController&) = delete;
+
+  /// Enqueues a request already decoded to this channel's (bank, row).
+  void enqueue(DramRequest request, std::uint32_t bank, std::uint64_t row);
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Peak data-bus bandwidth in bytes per second (for reports/tests).
+  [[nodiscard]] double peak_bandwidth_bytes_per_s() const;
+
+ private:
+  struct Pending {
+    DramRequest req;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+  };
+  struct BankState {
+    std::int64_t open_row = -1;  // -1: precharged/closed
+    TimePs act_ready = 0;        // earliest next ACT (tRC spacing)
+    TimePs pre_ready = 0;        // earliest next PRE (tRAS after ACT)
+    TimePs col_ready = 0;        // earliest next column command
+  };
+
+  /// Issues every request that can start now; schedules a wake-up for the
+  /// earliest future start otherwise.
+  void pump();
+  void issue(Pending pending, TimePs first_cmd);
+  void do_refresh();
+  void schedule_wake(TimePs when);
+
+  /// Earliest time the first command of `p` could issue (>= now).
+  [[nodiscard]] TimePs earliest_start(const Pending& p, TimePs now) const;
+  [[nodiscard]] bool is_row_hit(const Pending& p) const;
+
+  const DeviceConfig config_;
+  EventQueue& events_;
+  std::string name_;
+  std::vector<BankState> banks_;
+  std::deque<Pending> queue_;
+  TimePs bus_free_ = 0;
+  TimePs wake_at_ = -1;  // earliest pending wake event, -1 if none
+  std::uint32_t bursts_per_line_ = 1;
+  /// Last four ACT issue times (tFAW window), oldest at act_ring_idx_.
+  std::array<TimePs, 4> act_ring_{};
+  std::uint32_t act_ring_idx_ = 0;
+  bool last_burst_write_ = false;
+  ChannelStats stats_;
+
+  static constexpr TimePs kStarvationLimitPs = 1'500'000;  // 1.5 us
+};
+
+}  // namespace moca::dram

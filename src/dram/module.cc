@@ -1,0 +1,62 @@
+#include "dram/module.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace moca::dram {
+
+MemoryModule::MemoryModule(DeviceConfig device, std::uint64_t capacity_bytes,
+                           std::uint32_t attached_channels, EventQueue& events,
+                           std::string name)
+    : device_(std::move(device)),
+      capacity_(capacity_bytes),
+      name_(std::move(name)),
+      events_(events),
+      map_(device_.geometry,
+           attached_channels * device_.geometry.channels_per_controller) {
+  MOCA_CHECK(capacity_ >= kPageBytes);
+  MOCA_CHECK(attached_channels > 0);
+  const std::uint32_t total =
+      attached_channels * device_.geometry.channels_per_controller;
+  channels_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    channels_.push_back(std::make_unique<ChannelController>(
+        device_, events_, name_ + "/ch" + std::to_string(i)));
+  }
+}
+
+void MemoryModule::access(std::uint64_t addr, bool is_write,
+                          std::function<void(TimePs)> on_complete) {
+  MOCA_CHECK_MSG(addr < capacity_,
+                 name_ << ": address " << addr << " beyond capacity");
+  const DramCoord coord = map_.decode(addr);
+  DramRequest req;
+  req.addr = addr;
+  req.is_write = is_write;
+  req.arrival = events_.now();
+  req.on_complete = std::move(on_complete);
+  channels_[coord.channel]->enqueue(std::move(req), coord.bank, coord.row);
+}
+
+ChannelStats MemoryModule::stats() const {
+  ChannelStats total;
+  for (const auto& ch : channels_) total += ch->stats();
+  return total;
+}
+
+double MemoryModule::avg_access_latency_ps() const {
+  const ChannelStats s = stats();
+  return safe_div(static_cast<double>(s.total_access_time_ps()),
+                  static_cast<double>(s.accesses()));
+}
+
+double MemoryModule::peak_bandwidth_bytes_per_s() const {
+  double total = 0.0;
+  for (const auto& ch : channels_) total += ch->peak_bandwidth_bytes_per_s();
+  return total;
+}
+
+}  // namespace moca::dram

@@ -1,0 +1,63 @@
+// A memory module: capacity plus a set of channels of one device type.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "dram/address_map.h"
+#include "dram/controller.h"
+#include "dram/timings.h"
+#include "dram/types.h"
+
+namespace moca::dram {
+
+/// One physical memory module in the (possibly heterogeneous) system.
+///
+/// `attached_channels` is the number of processor memory controllers wired
+/// to the module (the paper attaches one per channel; homogeneous systems
+/// use four). HBM additionally multiplies this by its internal
+/// channels-per-controller factor. Requests arrive with module-local
+/// physical addresses; the RoRaBaChCo map spreads them over channels/banks.
+class MemoryModule {
+ public:
+  MemoryModule(DeviceConfig device, std::uint64_t capacity_bytes,
+               std::uint32_t attached_channels, EventQueue& events,
+               std::string name);
+
+  MemoryModule(const MemoryModule&) = delete;
+  MemoryModule& operator=(const MemoryModule&) = delete;
+
+  /// Issues a line-sized access at module-local address `addr`.
+  void access(std::uint64_t addr, bool is_write,
+              std::function<void(TimePs)> on_complete);
+
+  [[nodiscard]] const DeviceConfig& device() const { return device_; }
+  [[nodiscard]] MemKind kind() const { return device_.kind; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+
+  /// Aggregated counters across all channels of the module.
+  [[nodiscard]] ChannelStats stats() const;
+
+  /// Average read latency (arrival to data) over completed reads, in ps.
+  [[nodiscard]] double avg_access_latency_ps() const;
+
+  /// Peak bandwidth across all channels, bytes/s.
+  [[nodiscard]] double peak_bandwidth_bytes_per_s() const;
+
+ private:
+  DeviceConfig device_;
+  std::uint64_t capacity_;
+  std::string name_;
+  EventQueue& events_;
+  AddressMap map_;
+  std::vector<std::unique_ptr<ChannelController>> channels_;
+};
+
+}  // namespace moca::dram

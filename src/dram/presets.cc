@@ -1,0 +1,178 @@
+// Device presets, from paper Table II.
+//
+// Deviations from the table, all documented in DESIGN.md §2/§6:
+//  - tRP and tCL are not listed in Table II; both default to tRCD except for
+//    RLDRAM3, whose read latency (~8 tCK) is used for tCL directly.
+//  - RLDRAM3's 16 B row buffer is below the 64 B cache-line transfer unit;
+//    we model it as a 64 B closed-page access granule instead (one line ==
+//    one bank access), which is how RLDRAM parts are actually used for
+//    line-sized fetches.
+//  - HBM's per-device channel count ("more channels per device", Sec. II-A)
+//    is modelled as 4 independent internal channels per attached controller.
+#include "dram/timings.h"
+
+#include "common/check.h"
+
+namespace moca::dram {
+
+namespace {
+constexpr TimePs kRefi = 7'800'000;  // 7.8 us, standard 64 ms / 8192 rows
+}  // namespace
+
+std::string to_string(MemKind kind) {
+  switch (kind) {
+    case MemKind::kDdr3:
+      return "DDR3";
+    case MemKind::kDdr4:
+      return "DDR4";
+    case MemKind::kLpddr2:
+      return "LPDDR2";
+    case MemKind::kRldram3:
+      return "RLDRAM3";
+    case MemKind::kHbm:
+      return "HBM";
+  }
+  MOCA_CHECK_MSG(false, "unknown MemKind");
+  return {};
+}
+
+DeviceConfig make_ddr3() {
+  DeviceConfig c;
+  c.kind = MemKind::kDdr3;
+  c.name = "DDR3";
+  c.timings = {.tCK = ns_to_ps(1.07),
+               .tRCD = ns_to_ps(13.75),
+               .tRAS = ns_to_ps(35),
+               .tRC = ns_to_ps(48.75),
+               .tRP = ns_to_ps(13.75),
+               .tRFC = ns_to_ps(160),
+               .tREFI = kRefi,
+               .tCL = ns_to_ps(13.75),
+               .tFAW = ns_to_ps(30),
+               .tWTR = ns_to_ps(7.5),
+               .tRTW = ns_to_ps(2.5)};
+  c.geometry = {.banks_per_channel = 8,
+                .row_bytes = 128,
+                .bus_bytes_per_beat = 8,
+                .burst_length = 8,
+                .open_page = true,
+                .channels_per_controller = 1};
+  return c;
+}
+
+DeviceConfig make_ddr4() {
+  DeviceConfig c;
+  c.kind = MemKind::kDdr4;
+  c.name = "DDR4";
+  c.timings = {.tCK = ns_to_ps(0.833),  // DDR4-2400
+               .tRCD = ns_to_ps(14.16),
+               .tRAS = ns_to_ps(32),
+               .tRC = ns_to_ps(46.16),
+               .tRP = ns_to_ps(14.16),
+               .tRFC = ns_to_ps(350),
+               .tREFI = kRefi,
+               .tCL = ns_to_ps(14.16),
+               .tFAW = ns_to_ps(25),
+               .tWTR = ns_to_ps(7.5),
+               .tRTW = ns_to_ps(2.5)};
+  c.geometry = {.banks_per_channel = 16,  // 4 bank groups x 4
+                .row_bytes = 128,
+                .bus_bytes_per_beat = 8,
+                .burst_length = 8,
+                .open_page = true,
+                .channels_per_controller = 1};
+  return c;
+}
+
+DeviceConfig make_lpddr2() {
+  DeviceConfig c;
+  c.kind = MemKind::kLpddr2;
+  c.name = "LPDDR2";
+  c.timings = {.tCK = ns_to_ps(1.875),
+               .tRCD = ns_to_ps(15),
+               .tRAS = ns_to_ps(42),
+               .tRC = ns_to_ps(60),
+               .tRP = ns_to_ps(15),
+               .tRFC = ns_to_ps(130),
+               .tREFI = kRefi,
+               .tCL = ns_to_ps(15),
+               .tFAW = ns_to_ps(50),
+               .tWTR = ns_to_ps(7.5),
+               .tRTW = ns_to_ps(5)};
+  c.geometry = {.banks_per_channel = 8,
+                .row_bytes = 1024,
+                .bus_bytes_per_beat = 4,
+                .burst_length = 4,
+                .open_page = true,
+                .channels_per_controller = 1};
+  return c;
+}
+
+DeviceConfig make_rldram3() {
+  DeviceConfig c;
+  c.kind = MemKind::kRldram3;
+  c.name = "RLDRAM3";
+  c.timings = {.tCK = ns_to_ps(0.93),
+               .tRCD = ns_to_ps(2),
+               .tRAS = ns_to_ps(6),
+               .tRC = ns_to_ps(8),
+               .tRP = ns_to_ps(2),
+               .tRFC = ns_to_ps(110),
+               .tREFI = kRefi,
+               .tCL = ns_to_ps(9.5),  // RLDRAM3 tRL ~ 10-16 tCK
+               .tFAW = 0,             // SRAM-like core: no tFAW
+               .tWTR = ns_to_ps(1.86),
+               .tRTW = ns_to_ps(1.86)};
+  // Narrow data bus: RLDRAM trades bandwidth for access latency
+  // (Sec. II-A: "the bandwidth is lower").
+  c.geometry = {.banks_per_channel = 16,
+                .row_bytes = 64,  // closed-page 64B access granule
+                .bus_bytes_per_beat = 4,
+                .burst_length = 8,
+                .open_page = false,
+                .channels_per_controller = 1};
+  return c;
+}
+
+DeviceConfig make_hbm() {
+  DeviceConfig c;
+  c.kind = MemKind::kHbm;
+  c.name = "HBM";
+  c.timings = {.tCK = ns_to_ps(2),
+               .tRCD = ns_to_ps(15),
+               .tRAS = ns_to_ps(33),
+               .tRC = ns_to_ps(48),
+               .tRP = ns_to_ps(15),
+               .tRFC = ns_to_ps(160),
+               .tREFI = kRefi,
+               .tCL = ns_to_ps(15),
+               .tFAW = ns_to_ps(30),
+               .tWTR = ns_to_ps(8),
+               .tRTW = ns_to_ps(4)};
+  c.geometry = {.banks_per_channel = 8,
+                .row_bytes = 2048,
+                .bus_bytes_per_beat = 16,
+                .burst_length = 4,
+                .open_page = true,
+                .channels_per_controller = 4};
+  return c;
+}
+
+DeviceConfig make_device(MemKind kind) {
+  switch (kind) {
+    case MemKind::kDdr3:
+      return make_ddr3();
+    case MemKind::kDdr4:
+      return make_ddr4();
+    case MemKind::kLpddr2:
+      return make_lpddr2();
+    case MemKind::kRldram3:
+      return make_rldram3();
+    case MemKind::kHbm:
+      return make_hbm();
+  }
+  MOCA_CHECK_MSG(false, "unknown MemKind");
+  return {};
+}
+
+}  // namespace moca::dram

@@ -1,0 +1,78 @@
+// Per-device timing/geometry description (paper Table II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "dram/types.h"
+
+namespace moca::dram {
+
+/// DRAM command timing, in picoseconds. Values for the paper's device types
+/// come from paper Table II; tRP and CL are not listed there and are
+/// approximated as tRCD (a standard first-order assumption).
+struct DeviceTimings {
+  TimePs tCK = 0;    // data-bus clock period (DDR: 2 beats per tCK)
+  TimePs tRCD = 0;   // ACT -> column command
+  TimePs tRAS = 0;   // ACT -> PRE minimum
+  TimePs tRC = 0;    // ACT -> ACT same bank
+  TimePs tRP = 0;    // PRE -> ACT
+  TimePs tRFC = 0;   // refresh cycle time
+  TimePs tREFI = 0;  // refresh interval
+  TimePs tCL = 0;    // column command -> first data beat
+  /// Four-activate window: at most 4 ACTs per channel within tFAW.
+  /// 0 disables (RLDRAM's SRAM-like core has no such restriction).
+  TimePs tFAW = 0;
+  /// Data-bus turnaround penalties on direction change.
+  TimePs tWTR = 0;  // write -> read
+  TimePs tRTW = 0;  // read -> write
+};
+
+/// Channel geometry and policy knobs.
+struct DeviceGeometry {
+  std::uint32_t banks_per_channel = 8;
+  std::uint64_t row_bytes = 128;       // row-buffer reach of one channel
+  std::uint32_t bus_bytes_per_beat = 8;
+  std::uint32_t burst_length = 8;      // beats per burst
+  bool open_page = true;               // RLDRAM runs closed-page
+  /// Internal channels per attached memory-controller channel. HBM exposes
+  /// several independent channels per stack (Sec. II-A: "more channels per
+  /// device"), which is where its bandwidth advantage comes from.
+  std::uint32_t channels_per_controller = 1;
+  /// Channel-interleave granule in bytes; 0 means one row buffer (the
+  /// RoRaBaChCo mapping of Table I). Smaller granules (a cache line) spread
+  /// a stream across channels at the cost of row locality; larger ones
+  /// (a page) keep whole pages on one channel. bench/ablation_addressmap
+  /// sweeps this.
+  std::uint64_t interleave_granule_bytes = 0;
+};
+
+/// Full device description used to instantiate a MemoryModule.
+struct DeviceConfig {
+  MemKind kind = MemKind::kDdr3;
+  std::string name;
+  DeviceTimings timings;
+  DeviceGeometry geometry;
+
+  /// Bytes moved by one burst on one channel.
+  [[nodiscard]] std::uint64_t bytes_per_burst() const {
+    return static_cast<std::uint64_t>(geometry.bus_bytes_per_beat) *
+           geometry.burst_length;
+  }
+
+  /// Bus occupancy of one burst (DDR: burst_length beats / 2 per tCK).
+  [[nodiscard]] TimePs burst_time() const {
+    return timings.tCK * geometry.burst_length / 2;
+  }
+};
+
+/// Table II presets. See src/dram/presets.cc for the parameter provenance.
+[[nodiscard]] DeviceConfig make_ddr3();
+[[nodiscard]] DeviceConfig make_ddr4();
+[[nodiscard]] DeviceConfig make_lpddr2();
+[[nodiscard]] DeviceConfig make_rldram3();
+[[nodiscard]] DeviceConfig make_hbm();
+[[nodiscard]] DeviceConfig make_device(MemKind kind);
+
+}  // namespace moca::dram

@@ -1,0 +1,127 @@
+// Core DRAM types shared across the dram/ module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+
+namespace moca::dram {
+
+/// Memory technologies evaluated by the paper (Table II).
+enum class MemKind : std::uint8_t {
+  kDdr3,     // baseline commodity DRAM
+  kDdr4,     // faster commodity DRAM (KNL's off-package tier)
+  kLpddr2,   // low-power, higher-latency ("Pow Mem")
+  kRldram3,  // reduced-latency ("Lat Mem")
+  kHbm,      // high-bandwidth stacked ("BW Mem")
+};
+
+[[nodiscard]] std::string to_string(MemKind kind);
+
+/// A memory request as seen by a channel controller. Addresses are
+/// module-local physical addresses (the OS maps frames into modules).
+struct DramRequest {
+  std::uint64_t addr = 0;
+  bool is_write = false;
+  TimePs arrival = 0;
+  /// Invoked at data-return time. Empty for fire-and-forget traffic
+  /// (writebacks, store fills whose completion nobody waits on).
+  std::function<void(TimePs done)> on_complete;
+};
+
+/// Log2-bucketed request-latency histogram: bucket i counts requests with
+/// total latency (arrival to data end) in [2^i, 2^(i+1)) nanoseconds,
+/// except the first and last buckets which absorb the tails.
+inline constexpr std::size_t kLatencyBuckets = 12;
+
+/// Per-channel counters used for reporting and the power model.
+struct ChannelStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;     // closed bank: ACT only
+  std::uint64_t row_conflicts = 0;  // open other row: PRE + ACT
+  std::uint64_t refreshes = 0;
+  /// Sum over completed requests of (first command - arrival).
+  TimePs queue_time_ps = 0;
+  /// Sum over completed requests of (data end - first command).
+  TimePs service_time_ps = 0;
+  /// Total picoseconds the data bus spent transferring bursts.
+  TimePs bus_busy_ps = 0;
+  /// Request-latency distribution (see kLatencyBuckets).
+  std::array<std::uint64_t, kLatencyBuckets> latency_hist{};
+
+  void record_latency(TimePs total) {
+    std::uint64_t ns = static_cast<std::uint64_t>(total) / 1000;
+    std::size_t bucket = 0;
+    while (ns > 1 && bucket + 1 < kLatencyBuckets) {
+      ns >>= 1;
+      ++bucket;
+    }
+    ++latency_hist[bucket];
+  }
+
+  /// Approximate latency percentile (bucket upper bound), in nanoseconds.
+  [[nodiscard]] double latency_percentile(double p) const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : latency_hist) total += c;
+    if (total == 0) return 0.0;
+    const double target = p * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      seen += latency_hist[i];
+      if (static_cast<double>(seen) >= target) {
+        return static_cast<double>(2ULL << i);
+      }
+    }
+    return static_cast<double>(2ULL << (kLatencyBuckets - 1));
+  }
+
+  [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
+  [[nodiscard]] std::uint64_t activates() const {
+    return row_misses + row_conflicts;
+  }
+  /// Total memory access time as defined by the paper (Sec. VI-A):
+  /// queue latency + bus latency + service time, summed over requests.
+  [[nodiscard]] TimePs total_access_time_ps() const {
+    return queue_time_ps + service_time_ps;
+  }
+
+  ChannelStats& operator+=(const ChannelStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    row_conflicts += o.row_conflicts;
+    refreshes += o.refreshes;
+    queue_time_ps += o.queue_time_ps;
+    service_time_ps += o.service_time_ps;
+    bus_busy_ps += o.bus_busy_ps;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      latency_hist[i] += o.latency_hist[i];
+    }
+    return *this;
+  }
+
+  /// Subtracts a warmup-snapshot baseline (all counters are monotonic).
+  ChannelStats& operator-=(const ChannelStats& o) {
+    reads -= o.reads;
+    writes -= o.writes;
+    row_hits -= o.row_hits;
+    row_misses -= o.row_misses;
+    row_conflicts -= o.row_conflicts;
+    refreshes -= o.refreshes;
+    queue_time_ps -= o.queue_time_ps;
+    service_time_ps -= o.service_time_ps;
+    bus_busy_ps -= o.bus_busy_ps;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      latency_hist[i] -= o.latency_hist[i];
+    }
+    return *this;
+  }
+};
+
+}  // namespace moca::dram

@@ -1,0 +1,27 @@
+#include "moca/allocator.h"
+
+#include <utility>
+
+namespace moca::core {
+
+MocaAllocator::Allocation MocaAllocator::malloc_named(
+    std::span<const std::uint64_t> call_stack, std::uint64_t bytes,
+    std::string label) {
+  Allocation out;
+  out.name = name_object(call_stack);
+  out.object_class = classes_ != nullptr ? classes_->class_of(out.name)
+                                         : os::MemClass::kNonIntensive;
+  out.base = space_.alloc_heap(os::heap_segment_for(out.object_class), bytes);
+  out.runtime_id = registry_.add(out.name, space_.pid(), out.base, bytes,
+                                 out.object_class, std::move(label));
+  return out;
+}
+
+void MocaAllocator::free_object(std::uint64_t runtime_id) {
+  const ObjectInstance& inst = registry_.instance(runtime_id);
+  space_.free_heap(os::heap_segment_for(inst.placed_class), inst.base,
+                   inst.bytes);
+  registry_.remove(runtime_id);
+}
+
+}  // namespace moca::core

@@ -1,0 +1,50 @@
+// The modified memory allocator (paper Sec. III-C / IV-A).
+//
+// Stands in for the preloaded shared library wrapping malloc/calloc: it
+// names the object from the caller's return-address stack, looks the name
+// up in the instrumented classification (when present), places the object
+// in the heap partition of its class, and registers the live instance in
+// the runtime LUT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "moca/classifier.h"
+#include "moca/object_registry.h"
+#include "os/address_space.h"
+
+namespace moca::core {
+
+class MocaAllocator {
+ public:
+  /// `classes` may be null (profiling runs / un-instrumented binaries);
+  /// objects then default to the power-optimized partition.
+  MocaAllocator(os::AddressSpace& space, ObjectRegistry& registry,
+                const ClassifiedApp* classes)
+      : space_(space), registry_(registry), classes_(classes) {}
+
+  struct Allocation {
+    os::VirtAddr base = 0;
+    std::uint64_t runtime_id = 0;
+    ObjectName name = 0;
+    os::MemClass object_class = os::MemClass::kNonIntensive;
+  };
+
+  /// malloc() with the extra type argument derived from the instrumented
+  /// classification. `call_stack` holds return addresses, innermost first.
+  [[nodiscard]] Allocation malloc_named(
+      std::span<const std::uint64_t> call_stack, std::uint64_t bytes,
+      std::string label);
+
+  /// free(): retires the live instance and recycles its virtual range.
+  void free_object(std::uint64_t runtime_id);
+
+ private:
+  os::AddressSpace& space_;
+  ObjectRegistry& registry_;
+  const ClassifiedApp* classes_;
+};
+
+}  // namespace moca::core

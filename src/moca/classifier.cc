@@ -1,0 +1,39 @@
+#include "moca/classifier.h"
+
+namespace moca::core {
+
+namespace {
+[[nodiscard]] os::MemClass classify_metrics(double mpki, double stall_per_miss,
+                                            const Thresholds& t) {
+  if (mpki < t.thr_lat) return os::MemClass::kNonIntensive;
+  if (stall_per_miss >= t.thr_bw) return os::MemClass::kLatency;
+  return os::MemClass::kBandwidth;
+}
+}  // namespace
+
+os::MemClass classify_object(const ObjectProfile& object,
+                             std::uint64_t app_instructions,
+                             const Thresholds& thresholds) {
+  return classify_metrics(object.mpki(app_instructions),
+                          object.stall_per_miss(), thresholds);
+}
+
+os::MemClass classify_app(const AppProfile& profile,
+                          const Thresholds& thresholds) {
+  return classify_metrics(profile.app_mpki(), profile.app_stall_per_miss(),
+                          thresholds);
+}
+
+ClassifiedApp classify(const AppProfile& profile,
+                       const Thresholds& thresholds) {
+  ClassifiedApp result;
+  result.app_name = profile.app_name;
+  result.app_class = classify_app(profile, thresholds);
+  for (const auto& [name, object] : profile.objects) {
+    result.object_class[name] =
+        classify_object(object, profile.instructions, thresholds);
+  }
+  return result;
+}
+
+}  // namespace moca::core

@@ -1,0 +1,54 @@
+// Threshold classifier (paper Sec. III-B, Fig. 5).
+//
+//   LLC MPKI < Thr_Lat                      -> N (non-memory-intensive)
+//   MPKI >= Thr_Lat, stall/miss >= Thr_BW   -> L (latency-sensitive)
+//   MPKI >= Thr_Lat, stall/miss <  Thr_BW   -> B (bandwidth-sensitive)
+//
+// Thr_Lat = 1 MPKI and Thr_BW = 20 cycles are the paper's empirically
+// chosen values for its target system (Sec. IV-C); bench/ablation_thresholds
+// sweeps them.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "moca/profile.h"
+#include "os/types.h"
+
+namespace moca::core {
+
+struct Thresholds {
+  double thr_lat = 1.0;  // LLC MPKI above which an object is mem-intensive
+  double thr_bw = 20.0;  // ROB stall cycles/load miss above which latency-bound
+};
+
+/// Classifies one object against the application's instruction count.
+[[nodiscard]] os::MemClass classify_object(const ObjectProfile& object,
+                                           std::uint64_t app_instructions,
+                                           const Thresholds& thresholds);
+
+/// Application-level classification (Heter-App baseline / Table III).
+[[nodiscard]] os::MemClass classify_app(const AppProfile& profile,
+                                        const Thresholds& thresholds);
+
+/// The classification result MOCA instruments into the application binary:
+/// one MemClass per object name plus the app-level class.
+struct ClassifiedApp {
+  std::string app_name;
+  os::MemClass app_class = os::MemClass::kNonIntensive;
+  std::map<ObjectName, os::MemClass> object_class;
+
+  /// Unknown names (objects first seen on the reference input) default to
+  /// the power-optimized class, the safe choice for unprofiled data.
+  [[nodiscard]] os::MemClass class_of(ObjectName name) const {
+    const auto it = object_class.find(name);
+    return it == object_class.end() ? os::MemClass::kNonIntensive
+                                    : it->second;
+  }
+};
+
+/// Runs the classifier over a full profile.
+[[nodiscard]] ClassifiedApp classify(const AppProfile& profile,
+                                     const Thresholds& thresholds);
+
+}  // namespace moca::core

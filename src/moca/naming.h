@@ -1,0 +1,38 @@
+// Memory-object naming (paper Sec. III-A / Fig. 3).
+//
+// A heap object is named by the return address of its allocation call plus
+// the return addresses of up to four enclosing callers (five call-stack
+// levels total, Sec. V-A). The name is the order-sensitive fold of those
+// addresses, so `malloc` reached through different call paths produces
+// different names while repeated executions of the same site reproduce the
+// same name — exactly the property MOCA's profile database relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+
+namespace moca::core {
+
+/// Stable 64-bit identity of an allocation site + calling context.
+using ObjectName = std::uint64_t;
+
+/// Maximum call-stack depth considered (paper Sec. V-A: five levels).
+inline constexpr std::size_t kMaxCallDepth = 5;
+
+/// Names an object from its call stack, innermost return address first.
+/// Only the first kMaxCallDepth frames participate.
+[[nodiscard]] inline ObjectName name_object(
+    std::span<const std::uint64_t> return_addresses) {
+  ObjectName h = 0x4d4f'4341ULL;  // "MOCA"
+  const std::size_t depth =
+      return_addresses.size() < kMaxCallDepth ? return_addresses.size()
+                                              : kMaxCallDepth;
+  for (std::size_t i = 0; i < depth; ++i) {
+    h = splitmix64(h ^ return_addresses[i]);
+  }
+  return h;
+}
+
+}  // namespace moca::core

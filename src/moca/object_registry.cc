@@ -1,0 +1,58 @@
+#include "moca/object_registry.h"
+
+#include "common/check.h"
+
+namespace moca::core {
+
+std::uint64_t ObjectRegistry::add(ObjectName name, os::ProcessId pid,
+                                  os::VirtAddr base, std::uint64_t bytes,
+                                  os::MemClass placed_class,
+                                  std::string label) {
+  MOCA_CHECK(bytes > 0);
+  const std::uint64_t id = instances_.size();
+  ObjectInstance inst;
+  inst.id = id;
+  inst.name = name;
+  inst.pid = pid;
+  inst.base = base;
+  inst.bytes = bytes;
+  inst.placed_class = placed_class;
+  inst.label = std::move(label);
+  instances_.push_back(std::move(inst));
+  if (by_process_.size() <= pid) by_process_.resize(pid + 1);
+  auto& index = by_process_[pid];
+  const auto [it, inserted] = index.emplace(base, id);
+  (void)it;
+  MOCA_CHECK_MSG(inserted, "overlapping object registration");
+  return id;
+}
+
+const ObjectInstance& ObjectRegistry::instance(std::uint64_t id) const {
+  MOCA_CHECK(id < instances_.size());
+  return instances_[id];
+}
+
+void ObjectRegistry::remove(std::uint64_t id) {
+  MOCA_CHECK(id < instances_.size());
+  ObjectInstance& inst = instances_[id];
+  MOCA_CHECK_MSG(inst.live, "double free of object instance " << id);
+  inst.live = false;
+  auto& index = by_process_[inst.pid];
+  const auto it = index.find(inst.base);
+  MOCA_CHECK(it != index.end() && it->second == id);
+  index.erase(it);
+}
+
+const ObjectInstance* ObjectRegistry::find(os::ProcessId pid,
+                                           os::VirtAddr addr) const {
+  if (pid >= by_process_.size()) return nullptr;
+  const auto& index = by_process_[pid];
+  auto it = index.upper_bound(addr);
+  if (it == index.begin()) return nullptr;
+  --it;
+  const ObjectInstance& inst = instances_[it->second];
+  if (addr >= inst.base && addr < inst.base + inst.bytes) return &inst;
+  return nullptr;
+}
+
+}  // namespace moca::core

@@ -1,0 +1,61 @@
+// Runtime table of live memory-object instances — the "LUT" of Sec. IV-A.
+//
+// Every allocation through the modified allocator registers an instance
+// with a dense runtime id (fast per-access attribution) and its stable
+// ObjectName (profile identity across runs). Address-range lookup mirrors
+// the paper's mechanism of identifying the accessed object by address.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "moca/naming.h"
+#include "os/types.h"
+
+namespace moca::core {
+
+struct ObjectInstance {
+  std::uint64_t id = 0;
+  ObjectName name = 0;
+  os::ProcessId pid = 0;
+  os::VirtAddr base = 0;
+  std::uint64_t bytes = 0;
+  os::MemClass placed_class = os::MemClass::kNonIntensive;
+  /// False once freed. Dead instances keep their record (profiles merge
+  /// statistics of every instance a name ever had, Sec. IV-A) but no
+  /// longer resolve in address lookups.
+  bool live = true;
+  std::string label;  // human-readable site label (debug/reporting only)
+};
+
+class ObjectRegistry {
+ public:
+  /// Registers a live instance; returns its dense runtime id.
+  std::uint64_t add(ObjectName name, os::ProcessId pid, os::VirtAddr base,
+                    std::uint64_t bytes, os::MemClass placed_class,
+                    std::string label);
+
+  [[nodiscard]] const ObjectInstance& instance(std::uint64_t id) const;
+  [[nodiscard]] std::size_t size() const { return instances_.size(); }
+  [[nodiscard]] const std::vector<ObjectInstance>& all() const {
+    return instances_;
+  }
+
+  /// Finds the live instance covering `addr` in process `pid`, or nullptr.
+  [[nodiscard]] const ObjectInstance* find(os::ProcessId pid,
+                                           os::VirtAddr addr) const;
+
+  /// Marks an instance freed: it stops resolving in find() and its address
+  /// range may be reused by a later registration.
+  void remove(std::uint64_t id);
+
+ private:
+  std::vector<ObjectInstance> instances_;
+  /// Per-process interval index: base -> id (ranges never overlap because
+  /// the heap partitions are bump-allocated).
+  std::vector<std::map<os::VirtAddr, std::uint64_t>> by_process_;
+};
+
+}  // namespace moca::core

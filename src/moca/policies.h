@@ -1,0 +1,90 @@
+// Page-allocation policies: the paper's MOCA policy plus both baselines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/types.h"
+#include "os/policy.h"
+
+namespace moca::core {
+
+/// Baseline: every page from the single module type of a homogeneous
+/// machine (Homogen-DDR3 / -LP / -RL / -HBM in Sec. VI).
+class HomogeneousPolicy final : public os::AllocationPolicy {
+ public:
+  explicit HomogeneousPolicy(dram::MemKind kind) : kind_(kind) {}
+  [[nodiscard]] std::vector<dram::MemKind> preference(
+      const os::PageContext&) const override {
+    return {kind_};
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Homogen-" + dram::to_string(kind_);
+  }
+
+ private:
+  dram::MemKind kind_;
+};
+
+/// Application-level allocation (Phadke et al., the Heter-App baseline):
+/// every page of a process — heap, stack and code alike — follows the
+/// preference chain of the application's aggregate class.
+class HeterAppPolicy final : public os::AllocationPolicy {
+ public:
+  [[nodiscard]] std::vector<dram::MemKind> preference(
+      const os::PageContext& context) const override {
+    return os::chain_for_class(context.app_class);
+  }
+  [[nodiscard]] std::string name() const override { return "Heter-App"; }
+};
+
+/// Heterogeneity-agnostic default: interleave allocations across the
+/// general-purpose pool, weighted roughly by channel bandwidth (HBM 3 :
+/// DDR3 2 : LPDDR 1). RLDRAM stays out of the default pool — like KNL's
+/// flat-mode MCDRAM, capacity-constrained special memory is not handed out
+/// by default. Used as the starting placement for the dynamic
+/// page-migration baseline, whose daemon then promotes hot pages into it.
+class InterleavedPolicy final : public os::AllocationPolicy {
+ public:
+  [[nodiscard]] std::vector<dram::MemKind> preference(
+      const os::PageContext&) const override {
+    static constexpr dram::MemKind kRotation[] = {
+        dram::MemKind::kHbm,  dram::MemKind::kLpddr2, dram::MemKind::kHbm,
+        dram::MemKind::kDdr3, dram::MemKind::kHbm,    dram::MemKind::kDdr3};
+    constexpr std::size_t kN = sizeof(kRotation) / sizeof(kRotation[0]);
+    const std::uint64_t start = next_++;
+    std::vector<dram::MemKind> chain;
+    chain.reserve(kN + 1);
+    for (std::size_t i = 0; i < kN; ++i) {
+      chain.push_back(kRotation[(start + i) % kN]);
+    }
+    chain.push_back(dram::MemKind::kRldram3);  // last resort only
+    return chain;
+  }
+  [[nodiscard]] std::string name() const override { return "Interleaved"; }
+
+ private:
+  mutable std::uint64_t next_ = 0;
+};
+
+/// MOCA object-level allocation (Sec. III-C): the heap partition of the
+/// faulting page encodes the object class; non-heap segments go to the
+/// power-optimized chain (Sec. VI-D).
+class MocaPolicy final : public os::AllocationPolicy {
+ public:
+  [[nodiscard]] std::vector<dram::MemKind> preference(
+      const os::PageContext& context) const override {
+    switch (context.segment) {
+      case os::Segment::kHeapLat:
+        return os::chain_for_class(os::MemClass::kLatency);
+      case os::Segment::kHeapBw:
+        return os::chain_for_class(os::MemClass::kBandwidth);
+      default:
+        return os::chain_for_class(os::MemClass::kNonIntensive);
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "MOCA"; }
+};
+
+}  // namespace moca::core

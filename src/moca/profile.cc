@@ -1,0 +1,56 @@
+#include "moca/profile.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace moca::core {
+
+std::string AppProfile::serialize() const {
+  std::ostringstream os;
+  os << "app " << app_name << ' ' << instructions << ' ' << llc_misses << ' '
+     << load_llc_misses << ' ' << rob_stall_cycles << ' ' << stack_llc_misses
+     << ' ' << code_llc_misses << ' ' << other_llc_misses << '\n';
+  for (const auto& [name, obj] : objects) {
+    os << "obj " << name << ' ' << obj.bytes << ' ' << obj.allocations << ' '
+       << obj.llc_misses << ' ' << obj.load_llc_misses << ' '
+       << obj.rob_stall_cycles << ' ' << obj.label << '\n';
+  }
+  return os.str();
+}
+
+AppProfile AppProfile::deserialize(const std::string& text) {
+  AppProfile p;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_app = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "app") {
+      ls >> p.app_name >> p.instructions >> p.llc_misses >>
+          p.load_llc_misses >> p.rob_stall_cycles >> p.stack_llc_misses >>
+          p.code_llc_misses >> p.other_llc_misses;
+      MOCA_CHECK_MSG(!ls.fail(), "malformed app record: " << line);
+      saw_app = true;
+    } else if (tag == "obj") {
+      ObjectProfile obj;
+      ls >> obj.name >> obj.bytes >> obj.allocations >> obj.llc_misses >>
+          obj.load_llc_misses >> obj.rob_stall_cycles;
+      MOCA_CHECK_MSG(!ls.fail(), "malformed obj record: " << line);
+      std::getline(ls, obj.label);
+      if (!obj.label.empty() && obj.label.front() == ' ') {
+        obj.label.erase(obj.label.begin());
+      }
+      p.objects.emplace(obj.name, std::move(obj));
+    } else {
+      MOCA_CHECK_MSG(false, "unknown profile record tag: " << tag);
+    }
+  }
+  MOCA_CHECK_MSG(saw_app, "profile text missing app record");
+  return p;
+}
+
+}  // namespace moca::core

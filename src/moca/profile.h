@@ -1,0 +1,71 @@
+// Profile data produced by the offline profiling stage (Sec. III-A/IV-B)
+// and its serialized form (the statistics "instrumented into the binary").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "moca/naming.h"
+#include "os/types.h"
+
+namespace moca::core {
+
+/// Aggregate statistics of one named memory object over a profiled run.
+struct ObjectProfile {
+  ObjectName name = 0;
+  std::string label;
+  std::uint64_t bytes = 0;        // total bytes allocated under this name
+  std::uint64_t allocations = 0;  // instance count
+  std::uint64_t llc_misses = 0;   // demand LLC misses (loads + stores)
+  std::uint64_t load_llc_misses = 0;
+  std::uint64_t rob_stall_cycles = 0;
+
+  /// LLC MPKI relative to the whole application's instruction count — the
+  /// x-axis of Fig. 2/5.
+  [[nodiscard]] double mpki(std::uint64_t app_instructions) const {
+    return moca::mpki(llc_misses, app_instructions);
+  }
+  /// ROB-head stall cycles per load miss — the y-axis of Fig. 2/5.
+  [[nodiscard]] double stall_per_miss() const {
+    return safe_div(static_cast<double>(rob_stall_cycles),
+                    static_cast<double>(load_llc_misses));
+  }
+};
+
+/// Whole-application profile: per-object records plus app-level aggregates
+/// (used by the Heter-App baseline and Fig. 1) and per-segment miss
+/// counters (Fig. 16).
+struct AppProfile {
+  std::string app_name;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t load_llc_misses = 0;
+  std::uint64_t rob_stall_cycles = 0;
+  std::uint64_t stack_llc_misses = 0;
+  std::uint64_t code_llc_misses = 0;
+  std::uint64_t other_llc_misses = 0;  // data/bss and unnamed accesses
+  std::map<ObjectName, ObjectProfile> objects;
+
+  [[nodiscard]] double app_mpki() const {
+    return moca::mpki(llc_misses, instructions);
+  }
+  [[nodiscard]] double app_stall_per_miss() const {
+    return safe_div(static_cast<double>(rob_stall_cycles),
+                    static_cast<double>(load_llc_misses));
+  }
+  [[nodiscard]] double stack_mpki() const {
+    return moca::mpki(stack_llc_misses, instructions);
+  }
+  [[nodiscard]] double code_mpki() const {
+    return moca::mpki(code_llc_misses, instructions);
+  }
+
+  /// Text round-trip (one record per line); the stand-in for storing the
+  /// profile in the application binary.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static AppProfile deserialize(const std::string& text);
+};
+
+}  // namespace moca::core

@@ -1,0 +1,102 @@
+#include "os/address_space.h"
+
+#include "common/check.h"
+
+namespace moca::os {
+
+namespace {
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+std::uint64_t* AddressSpace::cursor_for(Segment s) {
+  switch (s) {
+    case Segment::kCode:
+      return &code_used_;
+    case Segment::kData:
+      return &data_used_;
+    case Segment::kStack:
+      return &stack_used_;
+    case Segment::kHeapLat:
+      return &heap_lat_used_;
+    case Segment::kHeapBw:
+      return &heap_bw_used_;
+    case Segment::kHeapPow:
+      return &heap_pow_used_;
+  }
+  MOCA_CHECK_MSG(false, "unknown Segment");
+  return nullptr;
+}
+
+VirtAddr AddressSpace::alloc_heap(Segment heap_partition, std::uint64_t size) {
+  MOCA_CHECK(heap_partition == Segment::kHeapLat ||
+             heap_partition == Segment::kHeapBw ||
+             heap_partition == Segment::kHeapPow);
+  MOCA_CHECK(size > 0);
+  const std::uint64_t aligned = align_up(size, kLineBytes);
+  if (const auto it = free_lists_.find({heap_partition, aligned});
+      it != free_lists_.end() && !it->second.empty()) {
+    const VirtAddr addr = it->second.back();
+    it->second.pop_back();
+    return addr;
+  }
+  std::uint64_t* cursor = cursor_for(heap_partition);
+  VirtAddr base = 0;
+  switch (heap_partition) {
+    case Segment::kHeapLat:
+      base = kHeapLatBase;
+      break;
+    case Segment::kHeapBw:
+      base = kHeapBwBase;
+      break;
+    default:
+      base = kHeapPowBase;
+      break;
+  }
+  const VirtAddr addr = base + *cursor;
+  *cursor = align_up(*cursor + size, kLineBytes);
+  MOCA_CHECK_MSG(*cursor <= kSegmentSpan, "heap partition exhausted");
+  return addr;
+}
+
+void AddressSpace::free_heap(Segment heap_partition, VirtAddr addr,
+                             std::uint64_t size) {
+  MOCA_CHECK(segment_of(addr) == heap_partition);
+  MOCA_CHECK(size > 0);
+  free_lists_[{heap_partition, align_up(size, kLineBytes)}].push_back(addr);
+}
+
+VirtAddr AddressSpace::alloc_stack(std::uint64_t size) {
+  const VirtAddr addr = kStackBase + stack_used_;
+  stack_used_ = align_up(stack_used_ + size, kLineBytes);
+  return addr;
+}
+
+VirtAddr AddressSpace::alloc_code(std::uint64_t size) {
+  const VirtAddr addr = kCodeBase + code_used_;
+  code_used_ = align_up(code_used_ + size, kLineBytes);
+  MOCA_CHECK(kCodeBase + code_used_ <= kDataBase);
+  return addr;
+}
+
+VirtAddr AddressSpace::alloc_data(std::uint64_t size) {
+  const VirtAddr addr = kDataBase + data_used_;
+  data_used_ = align_up(data_used_ + size, kLineBytes);
+  return addr;
+}
+
+std::uint64_t AddressSpace::heap_bytes(Segment heap_partition) const {
+  switch (heap_partition) {
+    case Segment::kHeapLat:
+      return heap_lat_used_;
+    case Segment::kHeapBw:
+      return heap_bw_used_;
+    case Segment::kHeapPow:
+      return heap_pow_used_;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace moca::os

@@ -1,0 +1,64 @@
+// Per-process virtual address space with typed heap partitions (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "os/page_table.h"
+#include "os/types.h"
+
+namespace moca::os {
+
+/// Bump-allocated virtual layout: code/data/stack segments plus the three
+/// typed heap partitions MOCA's modified allocator draws from. The simulator
+/// never stores data, so allocation is pure address bookkeeping.
+class AddressSpace {
+ public:
+  explicit AddressSpace(ProcessId pid) : pid_(pid) {}
+
+  /// Reserves `size` bytes (64B-aligned) in the given heap partition and
+  /// returns the base virtual address. Freed blocks of the same partition
+  /// and size are reused first (malloc-style size-class recycling).
+  [[nodiscard]] VirtAddr alloc_heap(Segment heap_partition,
+                                    std::uint64_t size);
+
+  /// Returns a block previously obtained from alloc_heap to the
+  /// partition's free list. Physical pages stay mapped, as with a real
+  /// allocator that retains address space.
+  void free_heap(Segment heap_partition, VirtAddr addr, std::uint64_t size);
+
+  /// Reserves stack space (grows down from kStackBase upward in our model
+  /// for simplicity; segment decode only needs the base).
+  [[nodiscard]] VirtAddr alloc_stack(std::uint64_t size);
+
+  /// Reserves code/data bytes.
+  [[nodiscard]] VirtAddr alloc_code(std::uint64_t size);
+  [[nodiscard]] VirtAddr alloc_data(std::uint64_t size);
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] PageTable& page_table() { return page_table_; }
+  [[nodiscard]] const PageTable& page_table() const { return page_table_; }
+
+  /// Total bytes reserved in one heap partition (tests/reports).
+  [[nodiscard]] std::uint64_t heap_bytes(Segment heap_partition) const;
+
+ private:
+  std::uint64_t* cursor_for(Segment s);
+
+  ProcessId pid_;
+  PageTable page_table_;
+  /// Free lists per (partition, aligned size).
+  std::map<std::pair<Segment, std::uint64_t>, std::vector<VirtAddr>>
+      free_lists_;
+  std::uint64_t code_used_ = 0;
+  std::uint64_t data_used_ = 0;
+  std::uint64_t stack_used_ = 0;
+  std::uint64_t heap_lat_used_ = 0;
+  std::uint64_t heap_bw_used_ = 0;
+  std::uint64_t heap_pow_used_ = 0;
+};
+
+}  // namespace moca::os

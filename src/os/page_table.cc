@@ -1,0 +1,52 @@
+#include "os/page_table.h"
+
+#include "common/check.h"
+
+namespace moca::os {
+
+void PageTable::map(Vpn vpn, Pfn pfn) {
+  const auto [it, inserted] = table_.emplace(vpn, pfn);
+  (void)it;
+  MOCA_CHECK_MSG(inserted, "double mapping of vpn " << vpn);
+}
+
+Pfn PageTable::unmap(Vpn vpn) {
+  const auto it = table_.find(vpn);
+  MOCA_CHECK_MSG(it != table_.end(), "unmap of unmapped vpn " << vpn);
+  const Pfn pfn = it->second;
+  table_.erase(it);
+  return pfn;
+}
+
+std::optional<Pfn> Tlb::lookup(ProcessId pid, Vpn vpn) {
+  for (Entry& e : entries_) {
+    if (e.pid == pid && e.vpn == vpn) {
+      e.lru = ++clock_;
+      ++hits_;
+      return e.pfn;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void Tlb::insert(ProcessId pid, Vpn vpn, Pfn pfn) {
+  for (Entry& e : entries_) {
+    if (e.pid == pid && e.vpn == vpn) {
+      e.pfn = pfn;
+      e.lru = ++clock_;
+      return;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{pid, vpn, pfn, ++clock_});
+    return;
+  }
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.lru < victim->lru) victim = &e;
+  }
+  *victim = Entry{pid, vpn, pfn, ++clock_};
+}
+
+}  // namespace moca::os

@@ -1,0 +1,67 @@
+// Per-process page table and per-core TLB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "os/types.h"
+
+namespace moca::os {
+
+/// Flat hash page table: virtual page number -> global physical frame.
+class PageTable {
+ public:
+  [[nodiscard]] std::optional<Pfn> lookup(Vpn vpn) const {
+    const auto it = table_.find(vpn);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Installs a translation; the vpn must not be mapped yet.
+  void map(Vpn vpn, Pfn pfn);
+
+  /// Removes a translation; the vpn must be mapped.
+  [[nodiscard]] Pfn unmap(Vpn vpn);
+
+  [[nodiscard]] std::size_t mapped_pages() const { return table_.size(); }
+
+  /// Snapshot of every mapping (process teardown, diagnostics).
+  [[nodiscard]] std::vector<std::pair<Vpn, Pfn>> entries() const {
+    return {table_.begin(), table_.end()};
+  }
+
+ private:
+  std::unordered_map<Vpn, Pfn> table_;
+};
+
+/// Small fully-associative LRU TLB keyed by (process, vpn).
+class Tlb {
+ public:
+  explicit Tlb(std::uint32_t entries) : capacity_(entries) {}
+
+  [[nodiscard]] std::optional<Pfn> lookup(ProcessId pid, Vpn vpn);
+  void insert(ProcessId pid, Vpn vpn, Pfn pfn);
+  void flush() { entries_.clear(); }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    ProcessId pid = 0;
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    std::uint64_t lru = 0;
+  };
+  std::uint32_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace moca::os

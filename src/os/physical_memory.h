@@ -1,0 +1,87 @@
+// Physical frame management over a set of heterogeneous memory modules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/module.h"
+#include "os/types.h"
+
+namespace moca::os {
+
+/// Free-frame bookkeeping for one module (bump pointer + free list).
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(std::uint64_t total_frames)
+      : total_frames_(total_frames) {}
+
+  /// Returns a module-local frame index, or nullopt when full.
+  [[nodiscard]] std::optional<std::uint64_t> allocate();
+  void free(std::uint64_t frame);
+
+  [[nodiscard]] std::uint64_t total_frames() const { return total_frames_; }
+  [[nodiscard]] std::uint64_t used_frames() const {
+    return next_unused_ - free_list_.size();
+  }
+  [[nodiscard]] bool full() const {
+    return next_unused_ >= total_frames_ && free_list_.empty();
+  }
+
+ private:
+  std::uint64_t total_frames_;
+  std::uint64_t next_unused_ = 0;
+  std::vector<std::uint64_t> free_list_;
+};
+
+/// The machine's physical memory: a list of modules with contiguous global
+/// frame ranges, each with its own allocator. Routes physical addresses to
+/// (module, module-local address).
+class PhysicalMemory {
+ public:
+  /// Registers a module; returns its index. Modules are referenced but not
+  /// owned (the System owns them alongside the event queue).
+  std::uint32_t add_module(dram::MemoryModule* module);
+
+  /// Tries to allocate a frame from module `module_index`.
+  [[nodiscard]] std::optional<Pfn> try_allocate(std::uint32_t module_index);
+  void free(Pfn pfn);
+
+  struct Location {
+    std::uint32_t module_index = 0;
+    std::uint64_t local_addr = 0;
+  };
+  /// Decomposes a global physical address.
+  [[nodiscard]] Location locate(PhysAddr addr) const;
+
+  [[nodiscard]] std::uint32_t module_count() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] dram::MemoryModule& module(std::uint32_t index) {
+    return *entries_[index].module;
+  }
+  [[nodiscard]] const dram::MemoryModule& module(std::uint32_t index) const {
+    return *entries_[index].module;
+  }
+  [[nodiscard]] const FrameAllocator& allocator(std::uint32_t index) const {
+    return entries_[index].allocator;
+  }
+  [[nodiscard]] std::uint64_t total_frames() const { return next_base_; }
+
+  /// Modules of a given kind, in registration order.
+  [[nodiscard]] std::vector<std::uint32_t> modules_of_kind(
+      dram::MemKind kind) const;
+
+ private:
+  struct Entry {
+    dram::MemoryModule* module = nullptr;
+    Pfn base_pfn = 0;
+    std::uint64_t frames = 0;
+    FrameAllocator allocator{0};
+  };
+  std::vector<Entry> entries_;
+  Pfn next_base_ = 0;
+};
+
+}  // namespace moca::os

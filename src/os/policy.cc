@@ -1,0 +1,25 @@
+#include "os/policy.h"
+
+#include "common/check.h"
+
+namespace moca::os {
+
+std::vector<dram::MemKind> chain_for_class(MemClass c) {
+  using dram::MemKind;
+  switch (c) {
+    case MemClass::kLatency:
+      return {MemKind::kRldram3, MemKind::kHbm, MemKind::kDdr4,
+              MemKind::kDdr3, MemKind::kLpddr2};
+    case MemClass::kBandwidth:
+      // Paper: "next best for HBM is LPDDR".
+      return {MemKind::kHbm, MemKind::kLpddr2, MemKind::kDdr4,
+              MemKind::kDdr3, MemKind::kRldram3};
+    case MemClass::kNonIntensive:
+      return {MemKind::kLpddr2, MemKind::kDdr3, MemKind::kDdr4,
+              MemKind::kHbm, MemKind::kRldram3};
+  }
+  MOCA_CHECK_MSG(false, "unknown MemClass");
+  return {};
+}
+
+}  // namespace moca::os

@@ -1,0 +1,45 @@
+// Page-allocation policy interface (paper Sec. III-C / IV-D).
+//
+// At page-fault time the OS asks the installed policy for an ordered list of
+// memory-module kinds for the faulting page; it then walks that preference
+// chain, falling back to the next kind whenever the preferred modules are
+// full, and finally to any module with free frames.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/types.h"
+#include "os/types.h"
+
+namespace moca::os {
+
+/// Everything the OS knows about a faulting page. MOCA's object-type
+/// information reaches the OS purely through the virtual heap partition the
+/// page lives in (Fig. 6) — the policy never sees object identities.
+struct PageContext {
+  ProcessId process = 0;
+  Segment segment = Segment::kHeapPow;
+  /// Application-level class, used by the Heter-App baseline (Phadke et al.).
+  MemClass app_class = MemClass::kNonIntensive;
+};
+
+/// Strategy deciding where a page's frame should come from.
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  /// Ordered module-kind preference for this page. Kinds absent from the
+  /// machine are skipped by the OS.
+  [[nodiscard]] virtual std::vector<dram::MemKind> preference(
+      const PageContext& context) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Preference chains used throughout (paper Sec. III-C: "if the best-fitting
+/// module is exhausted, MOCA proceeds to the next best memory module (e.g.,
+/// next best for HBM is LPDDR)").
+[[nodiscard]] std::vector<dram::MemKind> chain_for_class(MemClass c);
+
+}  // namespace moca::os

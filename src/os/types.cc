@@ -1,0 +1,79 @@
+#include "os/types.h"
+
+#include "common/check.h"
+
+namespace moca::os {
+
+std::string to_string(MemClass c) {
+  switch (c) {
+    case MemClass::kLatency:
+      return "latency";
+    case MemClass::kBandwidth:
+      return "bandwidth";
+    case MemClass::kNonIntensive:
+      return "non-intensive";
+  }
+  MOCA_CHECK_MSG(false, "unknown MemClass");
+  return {};
+}
+
+char class_letter(MemClass c) {
+  switch (c) {
+    case MemClass::kLatency:
+      return 'L';
+    case MemClass::kBandwidth:
+      return 'B';
+    case MemClass::kNonIntensive:
+      return 'N';
+  }
+  return '?';
+}
+
+std::string to_string(Segment s) {
+  switch (s) {
+    case Segment::kCode:
+      return "code";
+    case Segment::kData:
+      return "data";
+    case Segment::kStack:
+      return "stack";
+    case Segment::kHeapLat:
+      return "heap-lat";
+    case Segment::kHeapBw:
+      return "heap-bw";
+    case Segment::kHeapPow:
+      return "heap-pow";
+  }
+  MOCA_CHECK_MSG(false, "unknown Segment");
+  return {};
+}
+
+Segment heap_segment_for(MemClass c) {
+  switch (c) {
+    case MemClass::kLatency:
+      return Segment::kHeapLat;
+    case MemClass::kBandwidth:
+      return Segment::kHeapBw;
+    case MemClass::kNonIntensive:
+      return Segment::kHeapPow;
+  }
+  MOCA_CHECK_MSG(false, "unknown MemClass");
+  return Segment::kHeapPow;
+}
+
+Segment segment_of(VirtAddr addr) {
+  if (addr >= kStackBase) return Segment::kStack;
+  if (addr >= kHeapPowBase && addr < kHeapPowBase + kSegmentSpan) {
+    return Segment::kHeapPow;
+  }
+  if (addr >= kHeapBwBase && addr < kHeapBwBase + kSegmentSpan) {
+    return Segment::kHeapBw;
+  }
+  if (addr >= kHeapLatBase && addr < kHeapLatBase + kSegmentSpan) {
+    return Segment::kHeapLat;
+  }
+  if (addr >= kDataBase) return Segment::kData;
+  return Segment::kCode;
+}
+
+}  // namespace moca::os

@@ -1,0 +1,55 @@
+// Shared OS-level types: virtual address layout, segments, heap partitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace moca::os {
+
+using VirtAddr = std::uint64_t;
+using PhysAddr = std::uint64_t;
+using Vpn = std::uint64_t;  // virtual page number
+using Pfn = std::uint64_t;  // global physical frame number
+using ProcessId = std::uint32_t;
+
+/// Memory-behaviour classes used for both objects and whole applications
+/// (paper Fig. 5 / Table III).
+enum class MemClass : std::uint8_t {
+  kLatency,       // L: memory-intensive, low MLP  -> RLDRAM
+  kBandwidth,     // B: memory-intensive, high MLP -> HBM
+  kNonIntensive,  // N: low LLC MPKI               -> LPDDR
+};
+
+[[nodiscard]] std::string to_string(MemClass c);
+[[nodiscard]] char class_letter(MemClass c);
+
+/// Virtual address space segments (paper Fig. 6). The heap is split into
+/// one partition per memory-object type.
+enum class Segment : std::uint8_t {
+  kCode,
+  kData,     // .data/.bss
+  kStack,
+  kHeapLat,  // latency-sensitive objects
+  kHeapBw,   // bandwidth-sensitive objects
+  kHeapPow,  // non-memory-intensive objects
+};
+
+[[nodiscard]] std::string to_string(Segment s);
+
+/// Heap partition corresponding to an object class.
+[[nodiscard]] Segment heap_segment_for(MemClass c);
+
+/// Fixed virtual layout per process (single-rank simplicity; the simulator
+/// never stores data so segments can be generously sized).
+inline constexpr VirtAddr kCodeBase = 0x0000'0000'0040'0000ULL;
+inline constexpr VirtAddr kDataBase = 0x0000'0000'0060'0000ULL;
+inline constexpr VirtAddr kHeapLatBase = 0x0000'1000'0000'0000ULL;
+inline constexpr VirtAddr kHeapBwBase = 0x0000'2000'0000'0000ULL;
+inline constexpr VirtAddr kHeapPowBase = 0x0000'3000'0000'0000ULL;
+inline constexpr VirtAddr kStackBase = 0x0000'7fff'0000'0000ULL;
+inline constexpr VirtAddr kSegmentSpan = 0x0000'1000'0000'0000ULL;
+
+/// Segment classification of a virtual address (pure layout decode).
+[[nodiscard]] Segment segment_of(VirtAddr addr);
+
+}  // namespace moca::os

@@ -1,0 +1,65 @@
+// DRAM energy model — substitute for the MICRON power calculators the paper
+// feeds with Gem5 access rates (Sec. V-A).
+//
+// Energy = standby power × capacity × elapsed time
+//        + per-activation energy × activations
+//        + per-line transfer energy × (reads + writes)
+//        + per-refresh energy × refreshes.
+//
+// Constant provenance: Table II's standby/active rows are internally
+// inconsistent with the body text ("the static and dynamic power consumption
+// of RLDRAM is 4-5x higher than a DDR3/DDR4 module", Sec. II-A), so the
+// constants below keep Table II's DDR3/HBM/LPDDR2 standby figures, scale
+// RLDRAM to ~4.3x DDR3, and derive per-access energies from typical
+// pJ/bit figures (DDR3 ~14 pJ/bit, HBM ~4 pJ/bit, LPDDR2 ~8 pJ/bit,
+// RLDRAM3 ~45 pJ/bit). Only the *relative* ranking matters for the paper's
+// normalized EDP plots. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "dram/types.h"
+
+namespace moca::power {
+
+/// Per-device energy coefficients.
+struct DramPowerParams {
+  double standby_mw_per_gb = 0.0;
+  /// Residual power in precharge power-down / self-refresh. Only used when
+  /// power-down accounting is enabled (an extension beyond the paper's
+  /// model — see dram_energy_joules). RLDRAM3 has no power-down mode, so
+  /// its value equals its standby power.
+  double powerdown_mw_per_gb = 0.0;
+  double act_energy_nj = 0.0;      // per row activation
+  double rw_energy_nj = 0.0;       // per 64B line read or written
+  double refresh_energy_nj = 0.0;  // per refresh command per channel
+};
+
+/// With power-down enabled, a module is held at full standby for this long
+/// around each access (controller re-lock + tXP exit costs amortized) and
+/// drops to powerdown_mw_per_gb for the rest of the time.
+inline constexpr double kActiveWindowNsPerAccess = 60.0;
+
+/// Calibrated coefficients for each device type.
+[[nodiscard]] DramPowerParams dram_power_params(dram::MemKind kind);
+
+/// Total energy in joules for one module over `elapsed` of simulation.
+/// `allow_powerdown` enables the idle power-down extension: background
+/// power drops to powerdown_mw_per_gb whenever the module has been idle
+/// longer than the per-access active window. The paper's model (and every
+/// headline figure) uses allow_powerdown = false; bench/ablation_powerdown
+/// quantifies the difference.
+[[nodiscard]] double dram_energy_joules(const DramPowerParams& params,
+                                        const dram::ChannelStats& stats,
+                                        std::uint64_t capacity_bytes,
+                                        TimePs elapsed,
+                                        bool allow_powerdown = false);
+
+/// Average power in watts over `elapsed`.
+[[nodiscard]] double dram_power_watts(const DramPowerParams& params,
+                                      const dram::ChannelStats& stats,
+                                      std::uint64_t capacity_bytes,
+                                      TimePs elapsed);
+
+}  // namespace moca::power

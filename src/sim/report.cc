@@ -1,0 +1,70 @@
+#include "sim/report.h"
+
+#include "common/json.h"
+
+namespace moca::sim {
+
+std::string to_json(const RunResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("memory_system").value(r.memsys_name);
+  w.key("policy").value(r.policy_name);
+  w.key("exec_time_ps").value(static_cast<std::uint64_t>(r.exec_time));
+  w.key("total_mem_access_time_ps")
+      .value(static_cast<std::uint64_t>(r.total_mem_access_time));
+  w.key("memory_energy_j").value(r.memory_energy_j);
+  w.key("core_energy_j").value(r.core_energy_j);
+  w.key("memory_edp").value(r.memory_edp());
+  w.key("system_edp").value(r.system_edp());
+  w.key("total_instructions").value(r.total_instructions);
+  w.key("total_llc_misses").value(r.total_llc_misses);
+
+  w.key("cores").begin_array();
+  for (const CoreResult& c : r.cores) {
+    w.begin_object();
+    w.key("app").value(c.app_name);
+    w.key("instructions").value(c.core.committed);
+    w.key("cycles").value(static_cast<std::uint64_t>(c.core.cycles));
+    w.key("ipc").value(c.core.ipc());
+    w.key("llc_misses").value(c.hierarchy.llc_misses);
+    w.key("rob_head_stall_cycles")
+        .value(static_cast<std::uint64_t>(c.core.rob_head_stall_cycles));
+    w.key("tlb_misses").value(c.core.tlb_misses);
+    w.key("finish_time_ps").value(static_cast<std::uint64_t>(c.finish_time));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("modules").begin_array();
+  for (const ModuleResult& m : r.modules) {
+    w.begin_object();
+    w.key("name").value(m.name);
+    w.key("kind").value(dram::to_string(m.kind));
+    w.key("capacity_bytes").value(m.capacity_bytes);
+    w.key("frames_used").value(m.frames_used);
+    w.key("reads").value(m.stats.reads);
+    w.key("writes").value(m.stats.writes);
+    w.key("row_hits").value(m.stats.row_hits);
+    w.key("activates").value(m.stats.activates());
+    w.key("access_time_ps")
+        .value(static_cast<std::uint64_t>(m.stats.total_access_time_ps()));
+    w.key("energy_j").value(m.energy_j);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("page_faults").value(r.os_stats.page_faults);
+  w.key("fallback_allocations").value(r.os_stats.fallback_allocations);
+  if (r.migration.epochs > 0) {
+    w.key("migration").begin_object();
+    w.key("epochs").value(r.migration.epochs);
+    w.key("promotions").value(r.migration.promotions);
+    w.key("demotions").value(r.migration.demotions);
+    w.key("copied_lines").value(r.migration.copied_lines);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace moca::sim

@@ -1,0 +1,14 @@
+// Machine-readable reports of simulation results.
+#pragma once
+
+#include <string>
+
+#include "sim/system.h"
+
+namespace moca::sim {
+
+/// Serializes a RunResult as a JSON document (per-core, per-module and
+/// aggregate metrics; migration stats when the daemon ran).
+[[nodiscard]] std::string to_json(const RunResult& result);
+
+}  // namespace moca::sim

@@ -1,0 +1,281 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace moca::sim {
+
+double RunResult::memory_edp() const {
+  return memory_energy_j * ps_to_seconds(total_mem_access_time);
+}
+
+double RunResult::system_edp() const {
+  return system_energy_j() * ps_to_seconds(exec_time);
+}
+
+double RunResult::system_throughput() const {
+  return safe_div(static_cast<double>(total_instructions),
+                  ps_to_seconds(exec_time));
+}
+
+System::System(const MemSystemConfig& memsys,
+               std::unique_ptr<os::AllocationPolicy> policy,
+               std::vector<AppInstance> apps, SystemOptions options)
+    : memsys_(memsys),
+      options_(options),
+      apps_(std::move(apps)),
+      policy_(std::move(policy)),
+      profiler_(registry_) {
+  MOCA_CHECK(policy_ != nullptr);
+  MOCA_CHECK(!apps_.empty());
+  MOCA_CHECK(!memsys_.modules.empty());
+
+  for (const ModuleSpec& spec : memsys_.modules) {
+    dram::DeviceConfig device = dram::make_device(spec.kind);
+    if (spec.interleave_granule_bytes != 0) {
+      device.geometry.interleave_granule_bytes =
+          spec.interleave_granule_bytes;
+    }
+    modules_.push_back(std::make_unique<dram::MemoryModule>(
+        std::move(device), spec.capacity_bytes, spec.attached_channels,
+        events_, spec.name));
+    phys_.add_module(modules_.back().get());
+  }
+  os_ = std::make_unique<os::Os>(phys_, *policy_);
+
+  if (options_.migration.has_value()) {
+    migrator_ = std::make_unique<os::PageMigrator>(*os_,
+                                                   *options_.migration);
+    migrator_->set_copy_hook(
+        [this](os::PhysAddr old_page, os::PhysAddr new_page) {
+          // Copy traffic: read every line of the old frame, write every
+          // line of the new one (fire-and-forget DRAM requests).
+          for (std::uint64_t off = 0; off < kPageBytes; off += kLineBytes) {
+            const os::PhysicalMemory::Location src =
+                phys_.locate(old_page + off);
+            modules_[src.module_index]->access(src.local_addr, false,
+                                               nullptr);
+            const os::PhysicalMemory::Location dst =
+                phys_.locate(new_page + off);
+            modules_[dst.module_index]->access(dst.local_addr, true,
+                                               nullptr);
+          }
+        });
+    migrator_->set_shootdown_hook([this] {
+      for (PerCore& pc : cores_) pc.core->flush_tlb();
+    });
+    // Periodic, self-rescheduling migration epochs.
+    struct Epoch {
+      System* system;
+      TimePs period;
+      void operator()() const {
+        system->migrator_->run_epoch();
+        system->events_.schedule(system->events_.now() + period, *this);
+      }
+    };
+    const TimePs period = options_.migration->epoch_cycles * kCpuCyclePs;
+    events_.schedule(period, Epoch{this, period});
+  }
+
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    AppInstance& app = apps_[i];
+    PerCore pc;
+    pc.pid = os_->create_process();
+    if (app.classes.has_value()) {
+      os_->set_app_class(pc.pid, app.classes->app_class);
+    }
+
+    pc.allocator = std::make_unique<core::MocaAllocator>(
+        os_->address_space(pc.pid), registry_,
+        app.classes.has_value() ? &*app.classes : nullptr);
+    pc.stream = std::make_unique<workload::AppStream>(
+        app.spec, app.scale, app.seed, *pc.allocator,
+        os_->address_space(pc.pid));
+
+    pc.hierarchy = std::make_unique<cache::MemHierarchy>(
+        options_.l1, options_.l2, events_,
+        [this](std::uint64_t paddr, bool is_write,
+               std::function<void(TimePs)> on_complete) {
+          const os::PhysicalMemory::Location loc = phys_.locate(paddr);
+          modules_[loc.module_index]->access(loc.local_addr, is_write,
+                                             std::move(on_complete));
+        });
+    if (options_.prefetch_degree > 0) {
+      pc.hierarchy->enable_next_line_prefetch(options_.prefetch_degree);
+    }
+    if (options_.enable_profiling || migrator_ != nullptr) {
+      pc.hierarchy->set_llc_miss_observer(
+          [this](const cache::AccessContext& ctx) {
+            if (options_.enable_profiling) profiler_.on_llc_miss(ctx);
+            if (migrator_ != nullptr) {
+              migrator_->record_miss(ctx.process, ctx.vaddr);
+            }
+          });
+    }
+
+    pc.core = std::make_unique<cpu::Core>(
+        static_cast<std::uint32_t>(i), options_.core_params, *pc.stream,
+        *pc.hierarchy, *os_, pc.pid, events_);
+    pc.core->set_budget(options_.instructions_per_core);
+    if (options_.enable_profiling) {
+      pc.core->set_stall_observer(
+          [this, pid = pc.pid](std::uint64_t object) {
+            profiler_.on_head_stall(pid, object);
+          });
+    }
+    cores_.push_back(std::move(pc));
+  }
+  pretouch_pages();
+}
+
+void System::pretouch_pages() {
+  // Applications touch their memory in allocation/program order during
+  // startup (reading inputs, building structures) — this happens inside the
+  // paper's fast-forward phase, before the measured window, and it is what
+  // fixes each page's physical placement ("the first one identified during
+  // runtime", Sec. VI-A). Processes start concurrently, so their first
+  // touches interleave: we round-robin one page per process.
+  std::vector<std::vector<os::VirtAddr>> pages(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const workload::AppSpec& spec = apps_[i].spec;
+    for (std::uint64_t off = 0; off < spec.stack_bytes; off += kPageBytes) {
+      pages[i].push_back(os::kStackBase + off);
+    }
+    for (std::uint64_t off = 0; off < spec.code_bytes; off += kPageBytes) {
+      pages[i].push_back(os::kCodeBase + off);
+    }
+  }
+  for (const core::ObjectInstance& inst : registry_.all()) {
+    for (std::uint64_t off = 0; off < inst.bytes; off += kPageBytes) {
+      pages[inst.pid].push_back(inst.base + off);
+    }
+  }
+  bool remaining = true;
+  std::vector<std::size_t> cursor(cores_.size(), 0);
+  while (remaining) {
+    remaining = false;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (cursor[i] < pages[i].size()) {
+        (void)os_->translate(cores_[i].pid, pages[i][cursor[i]++]);
+        remaining = true;
+      }
+    }
+  }
+}
+
+System::~System() = default;
+
+RunResult System::run() {
+  // Generous deadlock guard: no workload should run below IPC 0.005.
+  const Cycle cycle_limit =
+      static_cast<Cycle>(options_.instructions_per_core +
+                         options_.warmup_instructions) *
+          200 +
+      1'000'000;
+  Cycle cycle = 0;
+  std::vector<Cycle> absolute_finish(cores_.size(), 0);
+
+  const auto run_phase = [&](auto budget_of) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      cores_[i].core->set_budget(budget_of(i));
+    }
+    for (;;) {
+      bool all_done = true;
+      for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (!cores_[i].core->done()) {
+          all_done = false;
+        } else if (absolute_finish[i] == 0) {
+          absolute_finish[i] = cycle;
+        }
+      }
+      if (all_done) break;
+      events_.run_until(cycle_to_ps(cycle));
+      for (PerCore& pc : cores_) pc.core->step();
+      ++cycle;
+      MOCA_CHECK_MSG(cycle < cycle_limit,
+                     "simulation exceeded cycle limit (deadlock?)");
+    }
+  };
+
+  // Warm-up phase: run, then snapshot every counter and discard it.
+  Cycle warmup_end = 0;
+  std::vector<cpu::CoreStats> core_base(cores_.size());
+  std::vector<cache::HierarchyStats> hier_base(cores_.size());
+  std::vector<dram::ChannelStats> module_base(phys_.module_count());
+  if (options_.warmup_instructions > 0) {
+    run_phase([&](std::size_t) { return options_.warmup_instructions; });
+    warmup_end = cycle;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      core_base[i] = cores_[i].core->stats();
+      hier_base[i] = cores_[i].hierarchy->stats();
+    }
+    for (std::uint32_t m = 0; m < phys_.module_count(); ++m) {
+      module_base[m] = phys_.module(m).stats();
+    }
+    profiler_.reset();
+    std::fill(absolute_finish.begin(), absolute_finish.end(), Cycle{0});
+  }
+
+  // Measured phase.
+  run_phase([&](std::size_t i) {
+    return cores_[i].core->stats().committed +
+           options_.instructions_per_core;
+  });
+  // Drain in-flight memory traffic so module counters are complete; the
+  // drain happens after every finish timestamp, so no metric includes it.
+  events_.run_until(cycle_to_ps(cycle) + 50'000'000);
+
+  RunResult result;
+  result.memsys_name = memsys_.name;
+  result.policy_name = policy_->name();
+  result.os_stats = os_->stats();
+  if (migrator_ != nullptr) result.migration = migrator_->stats();
+
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    PerCore& pc = cores_[i];
+    CoreResult cr;
+    cr.app_name = apps_[pc.pid].spec.name;
+    cr.core = pc.core->stats();
+    cr.core -= core_base[i];
+    cr.hierarchy = pc.hierarchy->stats();
+    cr.hierarchy -= hier_base[i];
+    cr.profile =
+        profiler_.finalize(cr.app_name, pc.pid, cr.core.committed);
+    cr.finish_time = cycle_to_ps(absolute_finish[i] - warmup_end);
+    result.exec_time = std::max(result.exec_time, cr.finish_time);
+    result.total_instructions += cr.core.committed;
+    result.total_llc_misses += cr.hierarchy.llc_misses;
+    result.cores.push_back(std::move(cr));
+  }
+
+  for (std::uint32_t m = 0; m < phys_.module_count(); ++m) {
+    const dram::MemoryModule& module = phys_.module(m);
+    ModuleResult mr;
+    mr.name = module.name();
+    mr.kind = module.kind();
+    mr.capacity_bytes = module.capacity_bytes();
+    mr.stats = module.stats();
+    mr.stats -= module_base[m];
+    mr.energy_j = power::dram_energy_joules(
+        power::dram_power_params(module.kind()), mr.stats,
+        module.capacity_bytes(), result.exec_time);
+    mr.frames_used = phys_.allocator(m).used_frames();
+    result.total_mem_access_time += mr.stats.total_access_time_ps();
+    result.memory_energy_j += mr.energy_j;
+    result.modules.push_back(std::move(mr));
+  }
+
+  for (const CoreResult& cr : result.cores) {
+    power::CoreActivity activity;
+    activity.busy_time = cr.finish_time;
+    activity.l1_accesses = cr.hierarchy.l1_accesses;
+    activity.l2_accesses = cr.hierarchy.l2_accesses;
+    result.core_energy_j +=
+        power::core_energy_joules(options_.core_power, activity);
+  }
+  return result;
+}
+
+}  // namespace moca::sim

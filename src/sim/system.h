@@ -1,0 +1,145 @@
+// Full-system assembly: cores + caches + OS + heterogeneous memory.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/event_queue.h"
+#include "cpu/core.h"
+#include "dram/module.h"
+#include "moca/allocator.h"
+#include "moca/classifier.h"
+#include "moca/object_registry.h"
+#include "moca/profiler.h"
+#include "os/migration.h"
+#include "os/os.h"
+#include "os/physical_memory.h"
+#include "power/core_power.h"
+#include "power/dram_power.h"
+#include "sim/config.h"
+#include "workload/app_stream.h"
+
+namespace moca::sim {
+
+struct SystemOptions {
+  cpu::CoreParams core_params;
+  cache::CacheConfig l1 = cache::default_l1d();
+  cache::CacheConfig l2 = cache::default_l2();
+  std::uint64_t instructions_per_core = 1'000'000;
+  /// Instructions each core runs before statistics are reset — the
+  /// equivalent of the paper's fast-forward + cache warm-up before its
+  /// measured SimPoint windows (Sec. V-A). Page placement performed during
+  /// warm-up persists (first touch is first touch); only counters reset.
+  std::uint64_t warmup_instructions = 0;
+  /// When false, the per-object profiling hooks (LLC-miss and ROB-stall
+  /// observers) are not installed — the runtime configuration of the paper,
+  /// where profiling only happens in dedicated offline runs (Sec. IV-E).
+  bool enable_profiling = true;
+  /// When set, the epoch-based page-migration daemon runs on top of the
+  /// base policy (the dynamic alternative of Sec. IV-E / related work).
+  std::optional<os::MigrationConfig> migration;
+  /// Next-line prefetch degree at L2 (0 = off, the paper's machine).
+  std::uint32_t prefetch_degree = 0;
+  power::CorePowerParams core_power;
+};
+
+/// One application bound to one core.
+struct AppInstance {
+  workload::AppSpec spec;
+  std::uint64_t seed = 1;
+  double scale = 1.0;  // input-size scale (training < reference)
+  /// Instrumented classification; empty for profiling/baseline runs.
+  std::optional<core::ClassifiedApp> classes;
+};
+
+struct CoreResult {
+  std::string app_name;
+  cpu::CoreStats core;
+  cache::HierarchyStats hierarchy;
+  core::AppProfile profile;
+  TimePs finish_time = 0;
+};
+
+struct ModuleResult {
+  std::string name;
+  dram::MemKind kind = dram::MemKind::kDdr3;
+  std::uint64_t capacity_bytes = 0;
+  dram::ChannelStats stats;
+  double energy_j = 0.0;
+  std::uint64_t frames_used = 0;
+};
+
+struct RunResult {
+  std::string memsys_name;
+  std::string policy_name;
+  std::vector<CoreResult> cores;
+  std::vector<ModuleResult> modules;
+  os::OsStats os_stats;
+  os::MigrationStats migration;  // zeros when the daemon is off
+  TimePs exec_time = 0;              // time for every core to finish
+  TimePs total_mem_access_time = 0;  // paper's "memory access time" metric
+  double memory_energy_j = 0.0;
+  double core_energy_j = 0.0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t total_llc_misses = 0;
+
+  /// Memory EDP = memory energy x total memory access time (Sec. VI-A).
+  [[nodiscard]] double memory_edp() const;
+  [[nodiscard]] double system_energy_j() const {
+    return memory_energy_j + core_energy_j;
+  }
+  /// System EDP = total energy x execution time.
+  [[nodiscard]] double system_edp() const;
+  /// Aggregate instruction throughput (instructions per second).
+  [[nodiscard]] double system_throughput() const;
+};
+
+/// Owns every component of one simulation and runs it to completion.
+class System {
+ public:
+  System(const MemSystemConfig& memsys,
+         std::unique_ptr<os::AllocationPolicy> policy,
+         std::vector<AppInstance> apps, SystemOptions options);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Runs every core to its instruction budget and collects metrics.
+  [[nodiscard]] RunResult run();
+
+  [[nodiscard]] const core::ObjectRegistry& registry() const {
+    return registry_;
+  }
+  [[nodiscard]] os::Os& os() { return *os_; }
+
+ private:
+  struct PerCore {
+    os::ProcessId pid = 0;
+    std::unique_ptr<core::MocaAllocator> allocator;  // outlives the stream
+    std::unique_ptr<workload::AppStream> stream;
+    std::unique_ptr<cache::MemHierarchy> hierarchy;
+    std::unique_ptr<cpu::Core> core;
+  };
+
+  /// First-touches every page in allocation/program order (see .cc).
+  void pretouch_pages();
+
+  MemSystemConfig memsys_;
+  SystemOptions options_;
+  std::vector<AppInstance> apps_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<dram::MemoryModule>> modules_;
+  os::PhysicalMemory phys_;
+  std::unique_ptr<os::AllocationPolicy> policy_;
+  std::unique_ptr<os::Os> os_;
+  std::unique_ptr<os::PageMigrator> migrator_;
+  core::ObjectRegistry registry_;
+  core::Profiler profiler_;
+  std::vector<PerCore> cores_;
+};
+
+}  // namespace moca::sim

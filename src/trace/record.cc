@@ -1,0 +1,27 @@
+#include "trace/record.h"
+
+#include "moca/allocator.h"
+#include "moca/object_registry.h"
+#include "os/address_space.h"
+#include "trace/trace.h"
+#include "workload/app_stream.h"
+
+namespace moca::trace {
+
+std::uint64_t record_app_trace(const workload::AppSpec& app,
+                               const std::string& path,
+                               const RecordOptions& options) {
+  os::AddressSpace space(0);
+  core::ObjectRegistry registry;
+  core::MocaAllocator allocator(space, registry, options.classes);
+  workload::AppStream stream(app, options.scale, options.seed, allocator,
+                             space);
+  TraceWriter writer(path);
+  for (std::uint64_t i = 0; i < options.ops; ++i) {
+    writer.append(stream.next());
+  }
+  writer.close();
+  return writer.count();
+}
+
+}  // namespace moca::trace

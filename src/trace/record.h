@@ -1,0 +1,28 @@
+// Trace recording from the synthetic workload generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "moca/classifier.h"
+#include "workload/spec.h"
+
+namespace moca::trace {
+
+struct RecordOptions {
+  std::uint64_t ops = 1'000'000;
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+  /// Instrumented classification; when set, heap objects are placed in
+  /// their typed virtual partitions, so a replay under MocaPolicy
+  /// reproduces MOCA's physical placement.
+  const core::ClassifiedApp* classes = nullptr;
+};
+
+/// Generates `options.ops` micro-ops of `app` into a trace file; returns
+/// the number of records written.
+std::uint64_t record_app_trace(const workload::AppSpec& app,
+                               const std::string& path,
+                               const RecordOptions& options);
+
+}  // namespace moca::trace

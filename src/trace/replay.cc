@@ -1,0 +1,77 @@
+#include "trace/replay.h"
+
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/check.h"
+#include "common/event_queue.h"
+#include "dram/module.h"
+#include "os/os.h"
+#include "os/physical_memory.h"
+#include "power/dram_power.h"
+#include "trace/trace.h"
+
+namespace moca::trace {
+
+ReplayResult replay_trace(const std::string& trace_path,
+                          const sim::MemSystemConfig& memsys,
+                          std::unique_ptr<os::AllocationPolicy> policy,
+                          const ReplayOptions& options) {
+  MOCA_CHECK(policy != nullptr);
+  TraceReader reader(trace_path);
+  MOCA_CHECK_MSG(reader.count() > 0, "empty trace: " << trace_path);
+  ReplayStream stream(reader);
+
+  EventQueue events;
+  std::vector<std::unique_ptr<dram::MemoryModule>> modules;
+  os::PhysicalMemory phys;
+  for (const sim::ModuleSpec& spec : memsys.modules) {
+    modules.push_back(std::make_unique<dram::MemoryModule>(
+        dram::make_device(spec.kind), spec.capacity_bytes,
+        spec.attached_channels, events, spec.name));
+    phys.add_module(modules.back().get());
+  }
+  os::Os os(phys, *policy);
+  const os::ProcessId pid = os.create_process();
+
+  cache::MemHierarchy hierarchy(
+      cache::default_l1d(), cache::default_l2(), events,
+      [&phys, &modules](std::uint64_t paddr, bool is_write,
+                        std::function<void(TimePs)> on_complete) {
+        const os::PhysicalMemory::Location loc = phys.locate(paddr);
+        modules[loc.module_index]->access(loc.local_addr, is_write,
+                                          std::move(on_complete));
+      });
+  cpu::Core core(0, options.core_params, stream, hierarchy, os, pid,
+                 events);
+  const std::uint64_t budget =
+      options.instructions > 0 ? options.instructions : reader.count();
+  core.set_budget(budget);
+
+  Cycle cycle = 0;
+  const Cycle limit = static_cast<Cycle>(budget) * 200 + 1'000'000;
+  while (!core.done()) {
+    events.run_until(cycle_to_ps(cycle));
+    core.step();
+    ++cycle;
+    MOCA_CHECK_MSG(cycle < limit, "replay exceeded cycle limit");
+  }
+  events.run_until(cycle_to_ps(cycle) + 50'000'000);  // drain in flight
+
+  ReplayResult result;
+  result.instructions = core.stats().committed;
+  result.cycles = core.stats().cycles;
+  result.ipc = core.stats().ipc();
+  result.llc_misses = hierarchy.stats().llc_misses;
+  for (std::uint32_t m = 0; m < phys.module_count(); ++m) {
+    const dram::ChannelStats stats = phys.module(m).stats();
+    result.total_mem_access_time += stats.total_access_time_ps();
+    result.memory_energy_j += power::dram_energy_joules(
+        power::dram_power_params(phys.module(m).kind()), stats,
+        phys.module(m).capacity_bytes(), cycle_to_ps(result.cycles));
+    result.frames_per_module.push_back(phys.allocator(m).used_frames());
+  }
+  return result;
+}
+
+}  // namespace moca::trace

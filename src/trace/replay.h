@@ -1,0 +1,38 @@
+// Trace replay: run a recorded micro-op stream on any memory system.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+#include "cpu/core.h"
+#include "os/policy.h"
+#include "sim/config.h"
+
+namespace moca::trace {
+
+struct ReplayOptions {
+  std::uint64_t instructions = 0;  // 0: one full pass over the trace
+  cpu::CoreParams core_params;
+};
+
+struct ReplayResult {
+  std::uint64_t instructions = 0;
+  Cycle cycles = 0;
+  double ipc = 0.0;
+  std::uint64_t llc_misses = 0;
+  TimePs total_mem_access_time = 0;
+  double memory_energy_j = 0.0;
+  /// Pages resident per module at the end of the run.
+  std::vector<std::uint64_t> frames_per_module;
+};
+
+/// Replays `trace_path` on one core of the given machine under `policy`.
+/// Placement happens at first touch exactly as in live runs; recorded heap
+/// partitions (virtual address ranges) steer MOCA-style policies.
+[[nodiscard]] ReplayResult replay_trace(
+    const std::string& trace_path, const sim::MemSystemConfig& memsys,
+    std::unique_ptr<os::AllocationPolicy> policy,
+    const ReplayOptions& options = {});
+
+}  // namespace moca::trace

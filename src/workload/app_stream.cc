@@ -1,0 +1,186 @@
+#include "workload/app_stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace moca::workload {
+
+namespace {
+constexpr std::uint64_t kMinObjectBytes = 4 * KiB;
+
+[[nodiscard]] std::uint64_t scaled_bytes(std::uint64_t bytes, double scale) {
+  const auto scaled =
+      static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
+  return std::max<std::uint64_t>(kMinObjectBytes, scaled & ~(kLineBytes - 1));
+}
+}  // namespace
+
+AppStream::AppStream(const AppSpec& spec, double scale, std::uint64_t seed,
+                     core::MocaAllocator& allocator, os::AddressSpace& space)
+    : spec_(spec), allocator_(allocator), rng_(seed ^ splitmix64(0xA99ULL)) {
+  MOCA_CHECK(!spec_.objects.empty());
+  MOCA_CHECK(spec_.mem_fraction > 0.0 && spec_.mem_fraction < 1.0);
+  stack_base_ = space.alloc_stack(spec_.stack_bytes);
+  code_base_ = space.alloc_code(spec_.code_bytes);
+
+  double total_weight = 0.0;
+  for (const ObjectSpec& o : spec_.objects) total_weight += o.weight;
+  MOCA_CHECK(total_weight > 0.0);
+
+  double acc = 0.0;
+  objects_.reserve(spec_.objects.size());
+  for (const ObjectSpec& o : spec_.objects) {
+    const std::uint64_t bytes = scaled_bytes(o.bytes, scale);
+    const core::MocaAllocator::Allocation alloc =
+        allocator.malloc_named(o.alloc_stack, bytes, o.label);
+    ObjState st;
+    st.spec = &o;
+    st.runtime_id = alloc.runtime_id;
+    st.base = alloc.base;
+    st.bytes = bytes;
+    st.hot_bytes = std::min<std::uint64_t>(bytes, kHotWindowBytes);
+    st.accesses_left = o.lifetime_accesses;
+    objects_.push_back(st);
+    object_ids_.push_back(alloc.runtime_id);
+    acc += o.weight / total_weight;
+    weight_cdf_.push_back(acc);
+  }
+  weight_cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t AppStream::pick_aligned(std::uint64_t span) {
+  MOCA_CHECK(span >= kLineBytes);
+  return rng_.next_below(span / kLineBytes) * kLineBytes;
+}
+
+cpu::MicroOp AppStream::next() {
+  cpu::MicroOp op;
+  const std::uint64_t my_index = instr_index_++;
+
+  if (!rng_.next_bool(spec_.mem_fraction)) {
+    op.kind = cpu::OpKind::kAlu;
+    op.latency = static_cast<std::uint8_t>(1 + rng_.next_below(2));
+    op.dep1 = static_cast<std::uint32_t>(1 + rng_.next_below(3));
+    return op;
+  }
+
+  const double where = rng_.next_double();
+  if (where < spec_.stack_fraction) return make_stack_op();
+  if (where < spec_.stack_fraction + spec_.code_fraction) {
+    return make_code_op();
+  }
+
+  const double pick = rng_.next_double();
+  const auto it =
+      std::lower_bound(weight_cdf_.begin(), weight_cdf_.end(), pick);
+  const std::size_t index = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - weight_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(objects_.size()) -
+                                   1));
+  ObjState& obj = objects_[index];
+
+  cpu::MicroOp mem = make_heap_op(obj);
+  if (obj.spec->lifetime_accesses > 0 && --obj.accesses_left == 0) {
+    recycle(obj);  // after the op: it still references the old instance
+  }
+  // Chase chains: record/apply the dependency using this op's index.
+  if (obj.spec->pattern == PatternKind::kChase &&
+      mem.kind == cpu::OpKind::kLoad && mem.dep1 == 1) {
+    // dep1 == 1 is the marker set by make_heap_op for chain loads.
+    if (obj.has_last_chase &&
+        my_index - obj.last_chase_instr <= kMaxDepDistance) {
+      mem.dep1 = static_cast<std::uint32_t>(my_index - obj.last_chase_instr);
+    } else {
+      mem.dep1 = 0;
+    }
+    obj.last_chase_instr = my_index;
+    obj.has_last_chase = true;
+  }
+  return mem;
+}
+
+void AppStream::recycle(ObjState& obj) {
+  allocator_.free_object(obj.runtime_id);
+  const core::MocaAllocator::Allocation alloc = allocator_.malloc_named(
+      obj.spec->alloc_stack, obj.bytes, obj.spec->label);
+  obj.runtime_id = alloc.runtime_id;
+  obj.base = alloc.base;
+  obj.cursor = 0;
+  obj.has_last_chase = false;
+  obj.accesses_left = obj.spec->lifetime_accesses;
+}
+
+cpu::MicroOp AppStream::make_heap_op(ObjState& obj) {
+  const ObjectSpec& spec = *obj.spec;
+  cpu::MicroOp op;
+  op.object = obj.runtime_id;
+  const bool is_store = rng_.next_bool(spec.store_fraction);
+  op.kind = is_store ? cpu::OpKind::kStore : cpu::OpKind::kLoad;
+
+  const bool redirected_hot =
+      spec.hot_fraction > 0.0 && rng_.next_bool(spec.hot_fraction);
+  std::uint64_t offset = 0;
+  if (redirected_hot) {
+    offset = pick_aligned(obj.hot_bytes);
+  } else {
+    switch (spec.pattern) {
+      case PatternKind::kChase: {
+        // Quadratically skewed page popularity (hot graph regions): the
+        // low end of the object is touched first and most often, so
+        // first-touch placement puts the dense pages wherever the policy's
+        // first-choice module is — the capacity-contention effect of
+        // Sec. VI-A/VI-C.
+        const double u = rng_.next_double();
+        const double u2 = u * u;
+        offset = static_cast<std::uint64_t>(
+                     u2 * u2 * static_cast<double>(obj.bytes)) &
+                 ~(kLineBytes - 1);
+        if (!is_store) op.dep1 = 1;  // chain marker, resolved by next()
+        break;
+      }
+      case PatternKind::kStream:
+      case PatternKind::kStride: {
+        offset = obj.cursor;
+        obj.cursor += spec.stride;
+        if (obj.cursor >= obj.bytes) obj.cursor = 0;
+        break;
+      }
+      case PatternKind::kSweep: {
+        // One access per page; the random line keeps channel/bank
+        // interleaving uniform (a fixed 4 KiB stride would alias to a
+        // single bank under RoRaBaChCo).
+        offset = obj.cursor + pick_aligned(kPageBytes);
+        obj.cursor += kPageBytes;
+        if (obj.cursor + kPageBytes > obj.bytes) obj.cursor = 0;
+        break;
+      }
+      case PatternKind::kRandom:
+        offset = pick_aligned(obj.bytes);
+        break;
+      case PatternKind::kHot:
+        offset = pick_aligned(obj.hot_bytes);
+        break;
+    }
+  }
+  op.vaddr = obj.base + offset;
+  return op;
+}
+
+cpu::MicroOp AppStream::make_stack_op() {
+  cpu::MicroOp op;
+  op.kind = rng_.next_bool(0.35) ? cpu::OpKind::kStore : cpu::OpKind::kLoad;
+  op.vaddr = stack_base_ + pick_aligned(spec_.stack_bytes);
+  return op;
+}
+
+cpu::MicroOp AppStream::make_code_op() {
+  cpu::MicroOp op;
+  op.kind = cpu::OpKind::kLoad;
+  op.vaddr = code_base_ + code_cursor_;
+  code_cursor_ += kLineBytes;
+  if (code_cursor_ >= spec_.code_bytes) code_cursor_ = 0;
+  return op;
+}
+
+}  // namespace moca::workload

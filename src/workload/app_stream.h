@@ -1,0 +1,75 @@
+// Synthetic application execution: turns an AppSpec into the micro-op
+// stream one core executes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/microop.h"
+#include "moca/allocator.h"
+#include "os/address_space.h"
+#include "workload/spec.h"
+
+namespace moca::workload {
+
+/// Deterministic (seeded) instruction stream for one application instance.
+///
+/// All heap objects are allocated up front through the (possibly
+/// instrumented) MocaAllocator — mirroring a real run where allocation
+/// happens through the preloaded shim — and physical pages still appear
+/// lazily on first touch. `scale` multiplies object footprints, modelling
+/// training vs. reference input sizes.
+class AppStream final : public cpu::OpStream {
+ public:
+  AppStream(const AppSpec& spec, double scale, std::uint64_t seed,
+            core::MocaAllocator& allocator, os::AddressSpace& space);
+
+  cpu::MicroOp next() override;
+
+  [[nodiscard]] const AppSpec& spec() const { return spec_; }
+  /// Runtime ids of the objects, in spec order (tests/attribution checks).
+  [[nodiscard]] const std::vector<std::uint64_t>& object_ids() const {
+    return object_ids_;
+  }
+
+ private:
+  struct ObjState {
+    const ObjectSpec* spec = nullptr;
+    std::uint64_t runtime_id = 0;
+    os::VirtAddr base = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t hot_bytes = 0;
+    std::uint64_t cursor = 0;
+    std::uint64_t last_chase_instr = 0;
+    std::uint64_t accesses_left = 0;  // transient objects only
+    bool has_last_chase = false;
+  };
+
+  cpu::MicroOp make_heap_op(ObjState& obj);
+  /// Frees and re-allocates a transient instance (same site, new id).
+  void recycle(ObjState& obj);
+  cpu::MicroOp make_stack_op();
+  cpu::MicroOp make_code_op();
+  [[nodiscard]] std::uint64_t pick_aligned(std::uint64_t span);
+
+  AppSpec spec_;
+  core::MocaAllocator& allocator_;  // must outlive the stream
+  Rng rng_;
+  std::uint64_t instr_index_ = 0;
+  os::VirtAddr stack_base_ = 0;
+  os::VirtAddr code_base_ = 0;
+  std::uint64_t code_cursor_ = 0;
+  std::vector<ObjState> objects_;
+  std::vector<double> weight_cdf_;
+  std::vector<std::uint64_t> object_ids_;
+
+  /// Hot-window cap: small enough to live in the caches (Sec. II-B: low
+  /// MPKI objects "tend to utilize the caches well").
+  static constexpr std::uint64_t kHotWindowBytes = 16 * KiB;
+  /// Chase dependencies further apart than this cannot overlap in the ROB
+  /// anyway (ROB is 84 entries), so no edge is recorded.
+  static constexpr std::uint64_t kMaxDepDistance = 80;
+};
+
+}  // namespace moca::workload

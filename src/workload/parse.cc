@@ -1,0 +1,185 @@
+#include "workload/parse.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace moca::workload {
+
+namespace {
+
+[[nodiscard]] PatternKind pattern_from(const std::string& s) {
+  if (s == "chase") return PatternKind::kChase;
+  if (s == "stream") return PatternKind::kStream;
+  if (s == "stride") return PatternKind::kStride;
+  if (s == "sweep") return PatternKind::kSweep;
+  if (s == "random") return PatternKind::kRandom;
+  if (s == "hot") return PatternKind::kHot;
+  MOCA_CHECK_MSG(false, "unknown pattern: " << s);
+  return PatternKind::kHot;
+}
+
+[[nodiscard]] os::MemClass class_from(const std::string& s) {
+  if (s == "L") return os::MemClass::kLatency;
+  if (s == "B") return os::MemClass::kBandwidth;
+  if (s == "N") return os::MemClass::kNonIntensive;
+  MOCA_CHECK_MSG(false, "unknown class: " << s << " (use L, B or N)");
+  return os::MemClass::kNonIntensive;
+}
+
+[[nodiscard]] double parse_double(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    MOCA_CHECK_MSG(used == s.size(), "bad number: " << s);
+    return v;
+  } catch (const std::logic_error&) {
+    MOCA_CHECK_MSG(false, "bad number: " << s);
+    return 0.0;
+  }
+}
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used);
+    MOCA_CHECK_MSG(used == s.size(), "bad integer: " << s);
+    return v;
+  } catch (const std::logic_error&) {
+    MOCA_CHECK_MSG(false, "bad integer: " << s);
+    return 0;
+  }
+}
+
+/// Deterministic app ordinal for synthetic call-stack generation; offset
+/// past the built-in suite's ordinals (0-9) to avoid naming collisions.
+[[nodiscard]] std::uint32_t ordinal_for(const std::string& app_name) {
+  std::uint64_t h = 0;
+  for (const char c : app_name) h = splitmix64(h ^ static_cast<uint8_t>(c));
+  return 100 + static_cast<std::uint32_t>(h % 100'000);
+}
+
+}  // namespace
+
+AppSpec parse_app_spec(const std::string& text) {
+  AppSpec app;
+  bool saw_app = false;
+  std::uint32_t ordinal = 0;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    const std::string line = hash == std::string::npos
+                                 ? raw
+                                 : raw.substr(0, hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank/comment line
+
+    if (key == "app") {
+      MOCA_CHECK_MSG(ls >> app.name, "line " << line_no << ": app needs a name");
+      ordinal = ordinal_for(app.name);
+      saw_app = true;
+    } else if (key == "class") {
+      std::string cls;
+      MOCA_CHECK_MSG(ls >> cls, "line " << line_no << ": class needs L/B/N");
+      app.expected_class = class_from(cls);
+    } else if (key == "mem_fraction") {
+      std::string v;
+      MOCA_CHECK(ls >> v);
+      app.mem_fraction = parse_double(v);
+    } else if (key == "stack_fraction") {
+      std::string v;
+      MOCA_CHECK(ls >> v);
+      app.stack_fraction = parse_double(v);
+    } else if (key == "code_fraction") {
+      std::string v;
+      MOCA_CHECK(ls >> v);
+      app.code_fraction = parse_double(v);
+    } else if (key == "stack_kib") {
+      std::string v;
+      MOCA_CHECK(ls >> v);
+      app.stack_bytes = parse_u64(v) * KiB;
+    } else if (key == "code_kib") {
+      std::string v;
+      MOCA_CHECK(ls >> v);
+      app.code_bytes = parse_u64(v) * KiB;
+    } else if (key == "object") {
+      MOCA_CHECK_MSG(saw_app, "line " << line_no << ": object before app");
+      ObjectSpec o;
+      std::string size_mib, pattern;
+      MOCA_CHECK_MSG(ls >> o.label >> size_mib >> pattern,
+                     "line " << line_no
+                             << ": object needs <label> <mib> <pattern>");
+      o.bytes = parse_u64(size_mib) * MiB;
+      o.pattern = pattern_from(pattern);
+      std::uint32_t depth = 3;
+      bool saw_weight = false;
+      std::string kv;
+      while (ls >> kv) {
+        const std::size_t eq = kv.find('=');
+        MOCA_CHECK_MSG(eq != std::string::npos,
+                       "line " << line_no << ": expected key=value: " << kv);
+        const std::string k = kv.substr(0, eq);
+        const std::string v = kv.substr(eq + 1);
+        if (k == "weight") {
+          o.weight = parse_double(v);
+          saw_weight = true;
+        } else if (k == "hot") {
+          o.hot_fraction = parse_double(v);
+        } else if (k == "store") {
+          o.store_fraction = parse_double(v);
+        } else if (k == "stride") {
+          o.stride = static_cast<std::uint32_t>(parse_u64(v));
+        } else if (k == "lifetime") {
+          o.lifetime_accesses = parse_u64(v);
+        } else if (k == "depth") {
+          depth = static_cast<std::uint32_t>(parse_u64(v));
+        } else {
+          MOCA_CHECK_MSG(false, "line " << line_no << ": unknown key: " << k);
+        }
+      }
+      MOCA_CHECK_MSG(saw_weight,
+                     "line " << line_no << ": object needs weight=");
+      o.alloc_stack = make_alloc_stack(
+          ordinal, static_cast<std::uint32_t>(app.objects.size()), depth);
+      app.objects.push_back(std::move(o));
+    } else {
+      MOCA_CHECK_MSG(false, "line " << line_no << ": unknown key: " << key);
+    }
+  }
+  MOCA_CHECK_MSG(saw_app, "spec has no 'app' line");
+  MOCA_CHECK_MSG(!app.objects.empty(), "spec has no objects");
+  return app;
+}
+
+std::string serialize_app_spec(const AppSpec& app) {
+  std::ostringstream out;
+  out << "app " << app.name << '\n';
+  out << "class " << os::class_letter(app.expected_class) << '\n';
+  out << "mem_fraction " << app.mem_fraction << '\n';
+  out << "stack_fraction " << app.stack_fraction << '\n';
+  out << "code_fraction " << app.code_fraction << '\n';
+  out << "stack_kib " << app.stack_bytes / KiB << '\n';
+  out << "code_kib " << app.code_bytes / KiB << '\n';
+  for (const ObjectSpec& o : app.objects) {
+    out << "object " << o.label << ' ' << o.bytes / MiB << ' '
+        << to_string(o.pattern) << " weight=" << o.weight;
+    if (o.hot_fraction > 0) out << " hot=" << o.hot_fraction;
+    out << " store=" << o.store_fraction;
+    if (o.pattern == PatternKind::kStream ||
+        o.pattern == PatternKind::kStride) {
+      out << " stride=" << o.stride;
+    }
+    if (o.lifetime_accesses > 0) out << " lifetime=" << o.lifetime_accesses;
+    out << " depth=" << o.alloc_stack.size();
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace moca::workload

@@ -1,0 +1,35 @@
+// Text format for application specifications, so users can define custom
+// workloads without recompiling (used by `moca_cli profile-file/run-file`).
+//
+//   # comment
+//   app kvstore
+//   class L                    # expected app class: L, B or N (default N)
+//   mem_fraction 0.36
+//   stack_fraction 0.05
+//   code_fraction 0.02
+//   stack_kib 24
+//   code_kib 12
+//   object log 48 stream weight=0.2 store=0.45
+//   object index 64 chase weight=0.45 hot=0.8 depth=4
+//   object meta 2 hot weight=0.35 lifetime=30000
+//
+// Object line: `object <label> <size_mib> <pattern> key=value...` with
+// patterns chase|stream|stride|sweep|random|hot and keys weight (required),
+// hot, store, stride, lifetime, depth.
+#pragma once
+
+#include <string>
+
+#include "workload/spec.h"
+
+namespace moca::workload {
+
+/// Parses the text format above; throws CheckError on malformed input.
+[[nodiscard]] AppSpec parse_app_spec(const std::string& text);
+
+/// Inverse of parse_app_spec (round-trip safe up to comments/ordering of
+/// keys; synthetic alloc stacks are regenerated deterministically from the
+/// app name and object index).
+[[nodiscard]] std::string serialize_app_spec(const AppSpec& app);
+
+}  // namespace moca::workload

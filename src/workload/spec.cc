@@ -1,0 +1,44 @@
+#include "workload/spec.h"
+
+#include "common/check.h"
+
+namespace moca::workload {
+
+std::string to_string(PatternKind k) {
+  switch (k) {
+    case PatternKind::kChase:
+      return "chase";
+    case PatternKind::kStream:
+      return "stream";
+    case PatternKind::kStride:
+      return "stride";
+    case PatternKind::kSweep:
+      return "sweep";
+    case PatternKind::kRandom:
+      return "random";
+    case PatternKind::kHot:
+      return "hot";
+  }
+  MOCA_CHECK_MSG(false, "unknown PatternKind");
+  return {};
+}
+
+std::vector<std::uint64_t> make_alloc_stack(std::uint32_t app_ordinal,
+                                            std::uint32_t object_index,
+                                            std::uint32_t depth) {
+  MOCA_CHECK(depth >= 1);
+  std::vector<std::uint64_t> stack;
+  stack.reserve(depth);
+  // Synthetic text segment: each app gets a code window; each object a
+  // distinct call site chain inside it, mimicking Fig. 3's return-address
+  // naming.
+  const std::uint64_t app_base =
+      0x400000ULL + static_cast<std::uint64_t>(app_ordinal) * 0x100000ULL;
+  for (std::uint32_t level = 0; level < depth; ++level) {
+    stack.push_back(app_base + 0x40ULL * (object_index + 1) + 0x1000ULL * level +
+                    0x5ULL);
+  }
+  return stack;
+}
+
+}  // namespace moca::workload

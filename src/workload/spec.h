@@ -1,0 +1,88 @@
+// Workload specifications: synthetic applications standing in for the
+// paper's SPEC CPU2006 / SDVBS C benchmarks (DESIGN.md §2).
+//
+// Each application is a set of named heap objects with per-object access
+// patterns. The patterns are chosen so the per-object (LLC MPKI, ROB-head
+// stall) distributions land in the regions of paper Fig. 2 and the
+// app-level aggregates reproduce Table III. Training vs. reference inputs
+// are different seeds plus a footprint scale factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "os/types.h"
+
+namespace moca::workload {
+
+/// Access-pattern archetypes.
+enum class PatternKind : std::uint8_t {
+  kChase,   // dependent pseudo-random walk: low MLP, latency-bound
+  kStream,  // sequential independent loads: high MLP, bandwidth-bound
+  kStride,  // strided independent loads (spatial locality defeated)
+  kSweep,   // page-granular sweep (one access per page, random line):
+            // high MLP, every access misses, covers a page per access —
+            // the footprint pressure of large streaming working sets
+  kRandom,  // uniform independent loads: high MLP, no locality
+  kHot,     // small resident working set: cache hits, low MPKI
+};
+
+[[nodiscard]] std::string to_string(PatternKind k);
+
+/// One heap object of a synthetic application.
+struct ObjectSpec {
+  std::string label;
+  std::uint64_t bytes = 0;
+  PatternKind pattern = PatternKind::kHot;
+  /// Relative share of the app's heap accesses hitting this object.
+  double weight = 1.0;
+  /// Byte step between consecutive accesses for kStream/kStride. 16 means
+  /// four accesses per 64B line (one LLC miss per four ops when the object
+  /// exceeds the caches).
+  std::uint32_t stride = 16;
+  /// Fraction of this object's accesses redirected to a small hot window
+  /// (raises cache hits, lowers the object's MPKI without changing MLP).
+  double hot_fraction = 0.0;
+  double store_fraction = 0.10;
+  /// Transient lifetime: after this many accesses the instance is freed
+  /// and re-allocated from the same site (0 = lives for the whole run).
+  /// Exercises MOCA's per-name merging of repeated instances (Sec. IV-A).
+  std::uint64_t lifetime_accesses = 0;
+  /// Synthetic return-address stack, innermost first (MOCA naming input).
+  std::vector<std::uint64_t> alloc_stack;
+};
+
+/// A synthetic application.
+struct AppSpec {
+  std::string name;
+  /// Ground-truth application-level class (paper Table III); used by tests
+  /// and as a cross-check for the app-level classifier.
+  os::MemClass expected_class = os::MemClass::kNonIntensive;
+  /// Fraction of the instruction stream that is memory operations.
+  double mem_fraction = 0.35;
+  /// Of memory ops: share going to the stack / code segment. Footprints
+  /// are kept small: stacks and hot code loops are cache-resident (paper
+  /// footnote 1 / Fig. 16), so their recurring DRAM traffic stays marginal.
+  double stack_fraction = 0.05;
+  double code_fraction = 0.02;
+  std::uint64_t stack_bytes = 24 * KiB;
+  std::uint64_t code_bytes = 12 * KiB;
+  std::vector<ObjectSpec> objects;
+
+  [[nodiscard]] std::uint64_t heap_footprint() const {
+    std::uint64_t total = 0;
+    for (const ObjectSpec& o : objects) total += o.bytes;
+    return total;
+  }
+};
+
+/// Builds the synthetic return-address stack for object `index` of an app:
+/// a per-app code base plus a chain of call sites, giving every object a
+/// unique, deterministic naming context (paper Fig. 3).
+[[nodiscard]] std::vector<std::uint64_t> make_alloc_stack(
+    std::uint32_t app_ordinal, std::uint32_t object_index,
+    std::uint32_t depth);
+
+}  // namespace moca::workload

@@ -1,0 +1,201 @@
+// Suite parameters.
+//
+// Footprints are at simulation scale: 1/4 of plausible native footprints,
+// matching the 1/4-scaled module capacities in sim/config.cc (DESIGN.md §5).
+// Per-object weights/hot fractions are chosen so per-object LLC MPKI and
+// ROB-stall land in the paper's Fig. 2 regions and app-level aggregates
+// reproduce Table III:
+//   - chase objects serialize their misses  -> stall/miss ~ full DRAM latency
+//   - stream/random objects overlap misses  -> stall/miss ~ latency / MLP
+//   - hot objects live in the caches        -> MPKI ~ 0
+#include "workload/suite.h"
+
+#include "common/check.h"
+
+namespace moca::workload {
+
+namespace {
+
+class AppBuilder {
+ public:
+  AppBuilder(std::string name, std::uint32_t ordinal, os::MemClass expected,
+             double mem_fraction)
+      : ordinal_(ordinal) {
+    app_.name = std::move(name);
+    app_.expected_class = expected;
+    app_.mem_fraction = mem_fraction;
+  }
+
+  AppBuilder& object(std::string label, std::uint64_t mib, PatternKind kind,
+                     double weight, double hot_fraction = 0.0,
+                     double store_fraction = 0.10, std::uint32_t stride = 16,
+                     std::uint32_t call_depth = 3) {
+    ObjectSpec o;
+    o.label = std::move(label);
+    o.bytes = mib * MiB;
+    o.pattern = kind;
+    o.weight = weight;
+    o.hot_fraction = hot_fraction;
+    o.store_fraction = store_fraction;
+    o.stride = stride;
+    o.alloc_stack = make_alloc_stack(
+        ordinal_, static_cast<std::uint32_t>(app_.objects.size()),
+        call_depth);
+    app_.objects.push_back(std::move(o));
+    return *this;
+  }
+
+  /// Marks the most recently added object transient: freed and
+  /// re-allocated from the same site every `accesses` accesses.
+  AppBuilder& last_transient(std::uint64_t accesses) {
+    app_.objects.back().lifetime_accesses = accesses;
+    return *this;
+  }
+
+  [[nodiscard]] AppSpec build() const { return app_; }
+
+ private:
+  AppSpec app_;
+  std::uint32_t ordinal_;
+};
+
+}  // namespace
+
+std::vector<AppSpec> standard_suite() {
+  std::vector<AppSpec> suite;
+
+  // --- Latency-sensitive (L): dominant pointer-chase objects. ---
+  suite.push_back(
+      AppBuilder("mcf", 0, os::MemClass::kLatency, 0.38)
+          .object("meta", 2, PatternKind::kHot, 0.30)
+          .object("scratch", 6, PatternKind::kStride, 0.06, 0.95, 0.10, 256)
+          .object("arcs", 24, PatternKind::kChase, 0.14, 0.90, 0.02)
+          .object("nodes", 88, PatternKind::kChase, 0.50, 0.78, 0.02)
+          .build());
+
+  suite.push_back(
+      AppBuilder("milc", 1, os::MemClass::kLatency, 0.34)
+          .object("lattice", 40, PatternKind::kStream, 0.10, 0.0, 0.20)
+          .object("tmp_a", 4, PatternKind::kHot, 0.14)
+          .last_transient(25'000)  // per-iteration temporary
+          .object("tmp_b", 3, PatternKind::kHot, 0.12)
+          .object("tmp_c", 2, PatternKind::kHot, 0.10)
+          .object("gauge_hot", 2, PatternKind::kHot, 0.09)
+          .object("mom_hot", 1, PatternKind::kHot, 0.07, 0.0, 0.10, 16, 4)
+          .object("su3_matrices", 72, PatternKind::kChase, 0.38, 0.82, 0.05)
+          .build());
+
+  suite.push_back(
+      AppBuilder("libquantum", 2, os::MemClass::kLatency, 0.36)
+          .object("workspace", 8, PatternKind::kHot, 0.58)
+          .object("qreg", 104, PatternKind::kChase, 0.42, 0.78, 0.05)
+          .build());
+
+  // disparity: the Fig. 8 anecdote — a lower-MPKI streaming object declared
+  // (and touched) alongside a higher-MPKI chase object; Heter-App fills
+  // RLDRAM first-come-first-served, MOCA knows which one deserves it.
+  suite.push_back(
+      AppBuilder("disparity", 3, os::MemClass::kLatency, 0.36)
+          .object("img_pyramid", 48, PatternKind::kStream, 0.25, 0.0, 0.15)
+          .object("cost_volume", 80, PatternKind::kChase, 0.40, 0.76, 0.05)
+          .object("kernel_buf", 1, PatternKind::kHot, 0.35)
+          .build());
+
+  // --- Bandwidth-sensitive (B): sweeping, independent misses. ---
+  // The page-granular stride makes each access touch a fresh page, so the
+  // sweep covers tens of MB per measured window — the footprint pressure
+  // that overflows HBM into LPDDR in the paper's multicore runs — while
+  // staying MLP-friendly (no inter-access dependencies).
+  suite.push_back(
+      AppBuilder("lbm", 4, os::MemClass::kBandwidth, 0.35)
+          .object("grid_src", 44, PatternKind::kSweep, 0.14, 0.0, 0.05)
+          .object("grid_dst", 48, PatternKind::kStream, 0.18, 0.0, 0.50)
+          .object("params", 2, PatternKind::kHot, 0.68)
+          .build());
+
+  suite.push_back(
+      AppBuilder("mser", 5, os::MemClass::kBandwidth, 0.33)
+          .object("regions", 36, PatternKind::kSweep, 0.13, 0.0, 0.15)
+          .object("image", 16, PatternKind::kRandom, 0.08, 0.60, 0.05)
+          .object("hist_a", 4, PatternKind::kHot, 0.22)
+          .object("hist_b", 3, PatternKind::kHot, 0.19)
+          .object("labels", 3, PatternKind::kHot, 0.16)
+          .object("stack_aux", 1, PatternKind::kHot, 0.14)
+          .object("seeds", 1, PatternKind::kHot, 0.13, 0.0, 0.10, 16, 5)
+          .build());
+
+  suite.push_back(
+      AppBuilder("tracking", 6, os::MemClass::kBandwidth, 0.34)
+          .object("features", 36, PatternKind::kSweep, 0.155, 0.0, 0.10)
+          .object("frames", 32, PatternKind::kStream, 0.15, 0.0, 0.20)
+          .object("pyramid", 8, PatternKind::kHot, 0.695)
+          .build());
+
+  // --- Non-memory-intensive (N): cache-resident, with the odd warm object.
+  // gcc carries one genuinely latency-bound object (symtab) — the Sec. VI-A
+  // anecdote where MOCA promotes it to RLDRAM while Heter-App leaves the
+  // whole app in LPDDR.
+  suite.push_back(
+      AppBuilder("gcc", 7, os::MemClass::kNonIntensive, 0.30)
+          .object("ast_nodes", 16, PatternKind::kHot, 0.30)
+          .object("rtl_pool", 8, PatternKind::kHot, 0.28)
+          .object("strings", 4, PatternKind::kHot, 0.22)
+          .object("obstack", 2, PatternKind::kStride, 0.10, 0.97, 0.10, 128)
+          .last_transient(12'000)  // per-function allocation
+          .object("symtab", 12, PatternKind::kChase, 0.10, 0.87, 0.05)
+          .build());
+
+  // sift/stitch each carry one modest-MPKI latency-bound object (sparse
+  // misses never overlap in the ROB) that MOCA promotes to RLDRAM — the
+  // same mechanism as gcc's symtab.
+  suite.push_back(
+      AppBuilder("sift", 8, os::MemClass::kNonIntensive, 0.32)
+          .object("octaves", 16, PatternKind::kHot, 0.48)
+          .object("keypoints", 4, PatternKind::kHot, 0.45)
+          .object("descriptors", 24, PatternKind::kStream, 0.10, 0.45, 0.15)
+          .build());
+
+  suite.push_back(
+      AppBuilder("stitch", 9, os::MemClass::kNonIntensive, 0.30)
+          .object("blend_buf", 8, PatternKind::kHot, 0.49)
+          .object("warp_tables", 6, PatternKind::kHot, 0.48)
+          .object("panorama", 32, PatternKind::kStride, 0.04, 0.62, 0.25, 64)
+          .build());
+
+  return suite;
+}
+
+AppSpec app_by_name(const std::string& name) {
+  for (AppSpec& app : standard_suite()) {
+    if (app.name == name) return app;
+  }
+  MOCA_CHECK_MSG(false, "unknown app: " << name);
+  return {};
+}
+
+std::vector<WorkloadSet> standard_sets() {
+  return {
+      {"4L", {"mcf", "milc", "libquantum", "disparity"}},
+      {"3L1B", {"mcf", "milc", "disparity", "lbm"}},
+      {"2L2B", {"mcf", "libquantum", "lbm", "mser"}},
+      {"1L3B", {"milc", "lbm", "mser", "tracking"}},
+      {"4B", {"lbm", "mser", "tracking", "lbm"}},
+      {"3L1N", {"milc", "libquantum", "disparity", "gcc"}},
+      {"2L1B1N", {"mcf", "milc", "tracking", "sift"}},
+      {"1L1B2N", {"disparity", "mser", "gcc", "stitch"}},
+      {"2B2N", {"lbm", "tracking", "sift", "gcc"}},
+      {"1B3N", {"mser", "gcc", "sift", "stitch"}},
+  };
+}
+
+std::vector<WorkloadSet> config_sweep_sets() {
+  return {
+      {"3L1B", {"mcf", "milc", "disparity", "lbm"}},
+      {"1L3B", {"milc", "lbm", "mser", "tracking"}},
+      {"3L1N", {"milc", "libquantum", "disparity", "gcc"}},
+      {"2L1B1N", {"mcf", "milc", "tracking", "sift"}},
+      {"2B2N", {"lbm", "tracking", "sift", "gcc"}},
+  };
+}
+
+}  // namespace moca::workload

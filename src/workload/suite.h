@@ -1,0 +1,33 @@
+// The ten-application suite standing in for the paper's SPEC CPU2006 /
+// SDVBS selection (Table III), plus the multi-program workload sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace moca::workload {
+
+/// All ten applications: mcf, milc, libquantum, disparity (L);
+/// lbm, mser, tracking (B); gcc, sift, stitch (N).
+[[nodiscard]] std::vector<AppSpec> standard_suite();
+
+/// Looks up one app of the standard suite by name (CheckError if unknown).
+[[nodiscard]] AppSpec app_by_name(const std::string& name);
+
+/// A 4-app multi-program mix, named by its class composition (e.g. 2L1B1N).
+struct WorkloadSet {
+  std::string name;
+  std::vector<std::string> apps;
+};
+
+/// The ten 4-core workload sets used by Figs. 10-13; the first five are
+/// memory-intensive mixes, the last five include non-memory-intensive apps
+/// (matching the paper's narrative in Sec. VI-B).
+[[nodiscard]] std::vector<WorkloadSet> standard_sets();
+
+/// The five sets of the configuration sweep (Figs. 14/15).
+[[nodiscard]] std::vector<WorkloadSet> config_sweep_sets();
+
+}  // namespace moca::workload

@@ -1,0 +1,180 @@
+// Unit and property tests for the set-associative cache array.
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "common/check.h"
+#include "common/units.h"
+
+namespace moca::cache {
+namespace {
+
+CacheConfig tiny(std::uint32_t sets, std::uint32_t ways) {
+  CacheConfig c;
+  c.name = "tiny";
+  c.size_bytes = static_cast<std::uint64_t>(sets) * ways * kLineBytes;
+  c.associativity = ways;
+  c.latency_cycles = 1;
+  c.mshrs = 4;
+  return c;
+}
+
+TEST(Cache, DefaultsMatchTableOne) {
+  const CacheConfig l1 = default_l1d();
+  EXPECT_EQ(l1.size_bytes, 64 * KiB);
+  EXPECT_EQ(l1.associativity, 2u);
+  EXPECT_EQ(l1.latency_cycles, 2);
+  EXPECT_EQ(l1.mshrs, 4u);
+  const CacheConfig l2 = default_l2();
+  EXPECT_EQ(l2.size_bytes, 512 * KiB);
+  EXPECT_EQ(l2.associativity, 16u);
+  EXPECT_EQ(l2.latency_cycles, 20);
+  EXPECT_EQ(l2.mshrs, 20u);
+}
+
+TEST(Cache, MissThenFillThenHit) {
+  Cache c(tiny(4, 2));
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_FALSE(c.contains(0x1000));
+  const Cache::Evicted ev = c.fill(0x1000, false);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_TRUE(c.contains(0x1000));
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_EQ(c.stats().read_hits, 1u);
+  EXPECT_EQ(c.stats().read_misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit) {
+  Cache c(tiny(4, 2));
+  (void)c.fill(0x2000, false);
+  EXPECT_TRUE(c.access(0x2000 + 63, false));
+  EXPECT_TRUE(c.access(0x2000 + 1, true));
+  EXPECT_FALSE(c.access(0x2040, false));  // next line
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(tiny(1, 2));  // one set, two ways
+  (void)c.fill(0 * 64, false);
+  (void)c.fill(1 * 64, false);
+  EXPECT_TRUE(c.access(0, false));  // touch line 0 -> line 1 is LRU
+  const Cache::Evicted ev = c.fill(2 * 64, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 1u * 64);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(64));
+}
+
+TEST(Cache, DirtyVictimReported) {
+  Cache c(tiny(1, 1));
+  (void)c.fill(0, false);
+  EXPECT_TRUE(c.access(0, true));  // dirty it
+  const Cache::Evicted ev = c.fill(64, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.line_addr, 0u);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, CleanVictimNotDirty) {
+  Cache c(tiny(1, 1));
+  (void)c.fill(0, false);
+  const Cache::Evicted ev = c.fill(64, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_FALSE(ev.dirty);
+}
+
+TEST(Cache, FillWithDirtyFlag) {
+  Cache c(tiny(1, 1));
+  (void)c.fill(0, true);
+  const Cache::Evicted ev = c.fill(64, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, MarkDirtyOnResidentLine) {
+  Cache c(tiny(2, 1));
+  (void)c.fill(0, false);
+  EXPECT_TRUE(c.mark_dirty(0));
+  EXPECT_FALSE(c.mark_dirty(64));  // absent
+  const Cache::Evicted ev = c.fill(128, false);  // same set as 0
+  ASSERT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, InvalidateDropsLine) {
+  Cache c(tiny(2, 2));
+  (void)c.fill(0, false);
+  c.invalidate(0);
+  EXPECT_FALSE(c.contains(0));
+  c.invalidate(0x4000);  // no-op on absent line
+}
+
+TEST(Cache, DoubleFillThrows) {
+  Cache c(tiny(2, 2));
+  (void)c.fill(0, false);
+  EXPECT_THROW(c.fill(0, false), CheckError);
+}
+
+TEST(Cache, NonPowerOfTwoSetsRejected) {
+  CacheConfig c = tiny(4, 2);
+  c.size_bytes = 3 * 2 * kLineBytes;  // 3 sets
+  EXPECT_THROW(Cache{c}, CheckError);
+}
+
+TEST(Cache, VictimAddressMapsBackToSameSet) {
+  Cache c(tiny(8, 2));
+  // Fill three lines mapping to set 3; the evicted address must also map
+  // to set 3 (i.e., the reconstructed tag|set address is correct).
+  const std::uint64_t base = 3 * 64;
+  (void)c.fill(base, false);
+  (void)c.fill(base + 8 * 64, false);
+  const Cache::Evicted ev = c.fill(base + 16 * 64, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ((ev.line_addr >> kLineShift) % 8, 3u);
+  EXPECT_EQ(ev.line_addr, base);
+}
+
+// Property sweep: for any geometry, a working set of exactly cache size
+// never evicts under LRU and repeated rounds, while 2x the size always
+// misses in round-robin order.
+struct Geometry {
+  std::uint32_t sets;
+  std::uint32_t ways;
+};
+
+class CacheGeometryP : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometryP, WorkingSetEqualToCapacityStaysResident) {
+  const Geometry g = GetParam();
+  Cache c(tiny(g.sets, g.ways));
+  const std::uint64_t lines = static_cast<std::uint64_t>(g.sets) * g.ways;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_FALSE(c.access(i * 64, false));
+    (void)c.fill(i * 64, false);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      EXPECT_TRUE(c.access(i * 64, false));
+    }
+  }
+  EXPECT_EQ(c.stats().read_misses, lines);
+}
+
+TEST_P(CacheGeometryP, DoubleCapacityThrashes) {
+  const Geometry g = GetParam();
+  Cache c(tiny(g.sets, g.ways));
+  const std::uint64_t lines = static_cast<std::uint64_t>(g.sets) * g.ways * 2;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      if (!c.access(i * 64, false)) (void)c.fill(i * 64, false);
+    }
+  }
+  EXPECT_EQ(c.stats().read_hits, 0u);  // LRU + round robin: always evicted
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometryP,
+                         ::testing::Values(Geometry{1, 1}, Geometry{4, 2},
+                                           Geometry{16, 4}, Geometry{8, 16},
+                                           Geometry{64, 2}));
+
+}  // namespace
+}  // namespace moca::cache

@@ -1,0 +1,251 @@
+// Core model tests: width limits, dependencies, load latency, MLP,
+// ROB-head stall accounting, TLB behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/event_queue.h"
+#include "cpu/core.h"
+#include "dram/module.h"
+#include "moca/policies.h"
+#include "os/os.h"
+
+namespace moca::cpu {
+namespace {
+
+/// Fixed script followed by independent ALU filler.
+class ScriptStream final : public OpStream {
+ public:
+  explicit ScriptStream(std::vector<MicroOp> script)
+      : script_(std::move(script)) {}
+  MicroOp next() override {
+    if (index_ < script_.size()) return script_[index_++];
+    return MicroOp{};  // independent 1-cycle ALU
+  }
+
+ private:
+  std::vector<MicroOp> script_;
+  std::size_t index_ = 0;
+};
+
+struct Fixture {
+  EventQueue events;
+  dram::MemoryModule module;
+  os::PhysicalMemory phys;
+  core::HomogeneousPolicy policy{dram::MemKind::kDdr3};
+  std::unique_ptr<os::Os> os;
+  std::unique_ptr<cache::MemHierarchy> hier;
+  std::unique_ptr<ScriptStream> stream;
+  std::unique_ptr<Core> core;
+  TimePs mem_latency = 60'000;
+
+  explicit Fixture(std::vector<MicroOp> script, CoreParams params = {})
+      : module(dram::make_ddr3(), 256 * MiB, 1, events, "mem") {
+    phys.add_module(&module);
+    os = std::make_unique<os::Os>(phys, policy);
+    const os::ProcessId pid = os->create_process();
+    hier = std::make_unique<cache::MemHierarchy>(
+        cache::default_l1d(), cache::default_l2(), events,
+        [this](std::uint64_t, bool, std::function<void(TimePs)> cb) {
+          if (cb) {
+            events.schedule(
+                events.now() + mem_latency,
+                [cb = std::move(cb), t = events.now() + mem_latency] {
+                  cb(t);
+                });
+          }
+        });
+    const std::size_t budget = script.size();
+    stream = std::make_unique<ScriptStream>(std::move(script));
+    core = std::make_unique<Core>(0, params, *stream, *hier, *os, pid,
+                                  events);
+    core->set_budget(budget);
+  }
+
+  void run() {
+    Cycle cycle = 0;
+    while (!core->done()) {
+      events.run_until(cycle_to_ps(cycle));
+      core->step();
+      ++cycle;
+      ASSERT_LT(cycle, 10'000'000) << "core deadlocked";
+    }
+  }
+};
+
+MicroOp alu(std::uint32_t dep = 0, std::uint8_t latency = 1) {
+  MicroOp op;
+  op.kind = OpKind::kAlu;
+  op.latency = latency;
+  op.dep1 = dep;
+  return op;
+}
+
+MicroOp load(std::uint64_t vaddr, std::uint32_t dep = 0,
+             std::uint64_t object = cache::kNoObject) {
+  MicroOp op;
+  op.kind = OpKind::kLoad;
+  op.vaddr = vaddr;
+  op.dep1 = dep;
+  op.object = object;
+  return op;
+}
+
+MicroOp store(std::uint64_t vaddr) {
+  MicroOp op;
+  op.kind = OpKind::kStore;
+  op.vaddr = vaddr;
+  return op;
+}
+
+TEST(Core, IndependentAluRunsAtFullWidth) {
+  Fixture f(std::vector<MicroOp>(3000, alu()));
+  f.run();
+  EXPECT_GT(f.core->stats().ipc(), 2.7);
+  EXPECT_EQ(f.core->stats().committed, 3000u);
+}
+
+TEST(Core, SerialDependencyChainRunsAtIpcOne) {
+  Fixture f(std::vector<MicroOp>(2000, alu(/*dep=*/1)));
+  f.run();
+  EXPECT_LT(f.core->stats().ipc(), 1.1);
+  EXPECT_GT(f.core->stats().ipc(), 0.9);
+}
+
+TEST(Core, TwoCycleAluHalvesChainThroughput) {
+  Fixture f(std::vector<MicroOp>(2000, alu(1, 2)));
+  f.run();
+  EXPECT_NEAR(f.core->stats().ipc(), 0.5, 0.06);
+}
+
+TEST(Core, SingleLoadMissStallsRobHead) {
+  std::vector<MicroOp> script;
+  script.push_back(load(os::kHeapPowBase, 0, /*object=*/5));
+  for (int i = 0; i < 50; ++i) script.push_back(alu());
+  Fixture f(script);
+  std::vector<std::uint64_t> stalled_objects;
+  f.core->set_stall_observer(
+      [&](std::uint64_t obj) { stalled_objects.push_back(obj); });
+  f.run();
+  // The load misses LLC (cold) and blocks the head for ~ memory latency.
+  EXPECT_GT(f.core->stats().rob_head_stall_cycles, 40);
+  EXPECT_EQ(f.core->stats().load_llc_misses, 1u);
+  ASSERT_FALSE(stalled_objects.empty());
+  for (const std::uint64_t obj : stalled_objects) EXPECT_EQ(obj, 5u);
+}
+
+TEST(Core, IndependentLoadsOverlapDependentLoadsDoNot) {
+  // 40 loads to distinct pages, spaced by 3 ALU ops.
+  auto build = [](bool dependent) {
+    std::vector<MicroOp> script;
+    for (int i = 0; i < 40; ++i) {
+      script.push_back(load(os::kHeapPowBase + static_cast<std::uint64_t>(i) *
+                                                   kPageBytes,
+                            dependent && i > 0 ? 4u : 0u));
+      script.push_back(alu());
+      script.push_back(alu());
+      script.push_back(alu());
+    }
+    return script;
+  };
+  Fixture independent(build(false));
+  independent.run();
+  Fixture dependent(build(true));
+  dependent.run();
+  // Dependent (chase) execution must be much slower than independent.
+  EXPECT_GT(dependent.core->stats().cycles,
+            independent.core->stats().cycles * 2);
+  // And its stall-per-miss must be higher.
+  const double ind_spm =
+      static_cast<double>(independent.core->stats().rob_head_stall_cycles) /
+      static_cast<double>(independent.core->stats().load_llc_misses);
+  const double dep_spm =
+      static_cast<double>(dependent.core->stats().rob_head_stall_cycles) /
+      static_cast<double>(dependent.core->stats().load_llc_misses);
+  EXPECT_GT(dep_spm, ind_spm * 1.5);
+}
+
+TEST(Core, TlbMissPaysPageWalk) {
+  // Two loads to the same (cold) page: only the first pays the walk.
+  std::vector<MicroOp> one{load(os::kHeapPowBase)};
+  Fixture first(one);
+  first.run();
+
+  std::vector<MicroOp> two{load(os::kHeapPowBase),
+                           load(os::kHeapPowBase + 8, 1)};
+  Fixture second(two);
+  second.run();
+  EXPECT_EQ(first.core->stats().tlb_misses, 1u);
+  EXPECT_EQ(second.core->stats().tlb_misses, 1u);
+  EXPECT_EQ(second.core->stats().tlb_hits, 1u);
+}
+
+TEST(Core, StoresRetireWithoutBlockingAndReachHierarchy) {
+  std::vector<MicroOp> script;
+  for (int i = 0; i < 100; ++i) {
+    script.push_back(store(os::kHeapPowBase + static_cast<std::uint64_t>(i) *
+                                                  64));
+  }
+  Fixture f(script);
+  f.run();
+  EXPECT_EQ(f.core->stats().stores, 100u);
+  EXPECT_EQ(f.hier->stats().stores, 100u);
+  // Stores never stall the ROB head in this model.
+  EXPECT_EQ(f.core->stats().rob_head_stall_cycles, 0);
+}
+
+TEST(Core, LqBackpressureDoesNotDeadlock) {
+  // 200 back-to-back loads to distinct lines of one page.
+  std::vector<MicroOp> script;
+  for (int i = 0; i < 200; ++i) {
+    script.push_back(
+        load(os::kHeapPowBase + static_cast<std::uint64_t>(i % 64) * 64));
+  }
+  CoreParams params;
+  params.lq_entries = 4;
+  Fixture f(script, params);
+  f.run();
+  EXPECT_EQ(f.core->stats().committed, 200u);
+}
+
+TEST(Core, DoneAfterBudgetAndFinishCycleRecorded) {
+  Fixture f(std::vector<MicroOp>(300, alu()));
+  f.run();
+  EXPECT_TRUE(f.core->done());
+  EXPECT_EQ(f.core->finish_cycle(), f.core->stats().cycles);
+  const Cycle finished = f.core->finish_cycle();
+  f.core->step();  // no-op once done
+  EXPECT_EQ(f.core->stats().cycles, finished);
+}
+
+TEST(Core, DeterministicAcrossRuns) {
+  auto make_script = [] {
+    std::vector<MicroOp> script;
+    for (int i = 0; i < 500; ++i) {
+      if (i % 7 == 0) {
+        script.push_back(load(os::kHeapPowBase + static_cast<std::uint64_t>(
+                                                     (i * 37) % 1000) *
+                                                     64,
+                              i % 3 == 0 ? 2u : 0u));
+      } else if (i % 11 == 0) {
+        script.push_back(store(os::kHeapPowBase + 64));
+      } else {
+        script.push_back(alu(i % 4));
+      }
+    }
+    return script;
+  };
+  Fixture a(make_script());
+  a.run();
+  Fixture b(make_script());
+  b.run();
+  EXPECT_EQ(a.core->stats().cycles, b.core->stats().cycles);
+  EXPECT_EQ(a.core->stats().rob_head_stall_cycles,
+            b.core->stats().rob_head_stall_cycles);
+  EXPECT_EQ(a.core->stats().load_llc_misses, b.core->stats().load_llc_misses);
+}
+
+}  // namespace
+}  // namespace moca::cpu

@@ -1,0 +1,187 @@
+// Parameterized property tests over all five device types: latency
+// decomposition, bank-level parallelism, bus serialization, refresh
+// cadence, bandwidth ceilings, and open-page benefits.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dram/controller.h"
+#include "dram/module.h"
+#include "dram/timings.h"
+
+namespace moca::dram {
+namespace {
+
+class DeviceP : public ::testing::TestWithParam<MemKind> {
+ protected:
+  DeviceConfig cfg() const { return make_device(GetParam()); }
+};
+
+TEST_P(DeviceP, TimingsAreInternallyConsistent) {
+  const DeviceConfig c = cfg();
+  EXPECT_GT(c.timings.tCK, 0);
+  EXPECT_GE(c.timings.tRC, c.timings.tRAS);    // tRC = tRAS + tRP
+  EXPECT_GE(c.timings.tRAS, c.timings.tRCD);   // row open >= col delay
+  EXPECT_GT(c.timings.tREFI, c.timings.tRFC);  // refresh duty cycle < 1
+  EXPECT_GT(c.timings.tCL, 0);
+  EXPECT_GT(c.geometry.row_bytes, 0u);
+  EXPECT_GE(c.geometry.row_bytes, c.bytes_per_burst() / 2);
+}
+
+TEST_P(DeviceP, ClosedReadLatencyDecomposes) {
+  const DeviceConfig c = cfg();
+  EventQueue q;
+  ChannelController ch(c, q, "lat");
+  std::optional<TimePs> done;
+  DramRequest r;
+  r.on_complete = [&done](TimePs t) { done = t; };
+  ch.enqueue(std::move(r), 0, 0);
+  q.run_until(1'000'000);
+  ASSERT_TRUE(done.has_value());
+  const std::uint64_t bursts =
+      (kLineBytes + c.bytes_per_burst() - 1) / c.bytes_per_burst();
+  EXPECT_EQ(*done, c.timings.tRCD + c.timings.tCL +
+                       static_cast<TimePs>(bursts) * c.burst_time());
+}
+
+TEST_P(DeviceP, BankParallelismBeatsBankSerialization) {
+  const DeviceConfig c = cfg();
+  // N reads to N banks vs N reads to one bank, different rows.
+  auto run = [&](bool spread) {
+    EventQueue q;
+    ChannelController ch(c, q, "par");
+    TimePs last = 0;
+    int pending = 8;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      DramRequest r;
+      r.on_complete = [&](TimePs t) {
+        last = std::max(last, t);
+        --pending;
+      };
+      ch.enqueue(std::move(r), spread ? i % c.geometry.banks_per_channel : 0,
+                 i);
+      q.run_until(q.now());
+    }
+    q.run_until(10'000'000);
+    EXPECT_EQ(pending, 0);
+    return last;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST_P(DeviceP, DataBusSerializesBursts) {
+  const DeviceConfig c = cfg();
+  EventQueue q;
+  ChannelController ch(c, q, "bus");
+  std::vector<TimePs> completions;
+  for (std::uint32_t i = 0; i < c.geometry.banks_per_channel; ++i) {
+    DramRequest r;
+    r.on_complete = [&completions](TimePs t) { completions.push_back(t); };
+    ch.enqueue(std::move(r), i, 0);
+  }
+  q.run_until(10'000'000);
+  ASSERT_EQ(completions.size(), c.geometry.banks_per_channel);
+  const std::uint64_t bursts =
+      (kLineBytes + c.bytes_per_burst() - 1) / c.bytes_per_burst();
+  const TimePs transfer = static_cast<TimePs>(bursts) * c.burst_time();
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_GE(completions[i] - completions[i - 1], transfer);
+  }
+}
+
+TEST_P(DeviceP, RefreshCadenceMatchesTrefi) {
+  const DeviceConfig c = cfg();
+  EventQueue q;
+  ChannelController ch(c, q, "ref");
+  q.run_until(10 * c.timings.tREFI + c.timings.tCK);
+  EXPECT_EQ(ch.stats().refreshes, 10u);
+}
+
+TEST_P(DeviceP, SustainedThroughputBoundedByDataBus) {
+  const DeviceConfig c = cfg();
+  EventQueue q;
+  ChannelController ch(c, q, "rand");
+  Rng rng(3);
+  int completed = 0;
+  TimePs last = 0;
+  const int kReads = 500;
+  for (int i = 0; i < kReads; ++i) {
+    DramRequest r;
+    r.on_complete = [&](TimePs t) {
+      ++completed;
+      last = std::max(last, t);
+    };
+    ch.enqueue(std::move(r),
+               static_cast<std::uint32_t>(
+                   rng.next_below(c.geometry.banks_per_channel)),
+               rng.next_below(1 << 16));
+  }
+  q.run_until(1'000'000'000);
+  EXPECT_EQ(completed, kReads);
+  // The data bus alone lower-bounds the drain time of the batch.
+  const std::uint64_t bursts =
+      (kLineBytes + c.bytes_per_burst() - 1) / c.bytes_per_burst();
+  const TimePs transfer = static_cast<TimePs>(bursts) * c.burst_time();
+  EXPECT_GE(last, static_cast<TimePs>(kReads) * transfer);
+  // And the bus was busy exactly kReads transfers.
+  EXPECT_EQ(ch.stats().bus_busy_ps, static_cast<TimePs>(kReads) * transfer);
+}
+
+TEST_P(DeviceP, OpenPageDevicesBenefitFromLocality) {
+  const DeviceConfig c = cfg();
+  // Two same-row reads back-to-back: the second is cheaper than the first
+  // iff the device runs open-page.
+  EventQueue q;
+  ChannelController ch(c, q, "loc");
+  std::optional<TimePs> first, second;
+  DramRequest a;
+  a.on_complete = [&first](TimePs t) { first = t; };
+  ch.enqueue(std::move(a), 0, 0);
+  q.run_until(500'000);
+  DramRequest b;
+  b.arrival = q.now();
+  b.on_complete = [&second](TimePs t) { second = t; };
+  ch.enqueue(std::move(b), 0, 0);
+  q.run_until(1'000'000);
+  ASSERT_TRUE(first && second);
+  const TimePs second_latency = *second - 500'000;
+  if (c.geometry.open_page) {
+    EXPECT_LT(second_latency, *first);
+    EXPECT_EQ(ch.stats().row_hits, 1u);
+  } else {
+    EXPECT_EQ(ch.stats().row_hits, 0u);
+    EXPECT_GE(second_latency, *first - c.timings.tCK);
+  }
+}
+
+TEST_P(DeviceP, ModuleLatencyStatisticsArePlausible) {
+  EventQueue q;
+  MemoryModule mod(cfg(), 32 * MiB, 2, q, "m");
+  Rng rng(9);
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    mod.access(rng.next_below(32 * MiB / 64) * 64, rng.next_bool(0.2),
+               [&completed](TimePs) { ++completed; });
+    q.run_until(q.now() + 50'000);
+  }
+  q.run_until(q.now() + 10'000'000);
+  EXPECT_EQ(completed, 200);
+  const double avg_ns = mod.avg_access_latency_ps() / 1000.0;
+  EXPECT_GT(avg_ns, 5.0);
+  EXPECT_LT(avg_ns, 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceP,
+                         ::testing::Values(MemKind::kDdr3, MemKind::kDdr4,
+                                           MemKind::kLpddr2,
+                                           MemKind::kRldram3, MemKind::kHbm),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace moca::dram

@@ -1,0 +1,140 @@
+// End-to-end assertions of the paper's headline orderings at test scale.
+// These lock the calibrated shapes the benches report (EXPERIMENTS.md) so a
+// regression in any substrate shows up in ctest, not just in bench output.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/runner.h"
+#include "workload/suite.h"
+
+namespace moca::sim {
+namespace {
+
+Experiment experiment(std::uint64_t instructions = 400'000) {
+  Experiment e;
+  e.instructions = instructions;
+  return e;
+}
+
+struct SingleCoreRuns {
+  RunResult ddr3, lp, rl, hbm, heter, moca;
+};
+
+SingleCoreRuns run_all(const std::string& app, const Experiment& e) {
+  const auto db = build_profile_db({app}, e);
+  return SingleCoreRuns{
+      run_single(app, SystemChoice::kHomogenDdr3, db, e),
+      run_single(app, SystemChoice::kHomogenLpddr2, db, e),
+      run_single(app, SystemChoice::kHomogenRldram, db, e),
+      run_single(app, SystemChoice::kHomogenHbm, db, e),
+      run_single(app, SystemChoice::kHeterApp, db, e),
+      run_single(app, SystemChoice::kMoca, db, e),
+  };
+}
+
+TEST(Headline, LatencyAppOrderings) {
+  const SingleCoreRuns r = run_all("mcf", experiment());
+  // Fig. 8: RL fastest, LP slowest.
+  EXPECT_LT(r.rl.total_mem_access_time, r.hbm.total_mem_access_time);
+  EXPECT_LT(r.rl.total_mem_access_time, r.ddr3.total_mem_access_time);
+  EXPECT_GT(r.lp.total_mem_access_time, r.ddr3.total_mem_access_time);
+  // MOCA and Heter-App both well below DDR3 for a latency app.
+  EXPECT_LT(r.moca.total_mem_access_time,
+            r.ddr3.total_mem_access_time * 3 / 4);
+  // Fig. 9: MOCA memory EDP beats DDR3 and RL.
+  EXPECT_LT(r.moca.memory_edp(), r.ddr3.memory_edp());
+  EXPECT_LT(r.moca.memory_edp(), r.rl.memory_edp());
+}
+
+TEST(Headline, BandwidthAppPrefersHbm) {
+  const SingleCoreRuns r = run_all("lbm", experiment());
+  EXPECT_LT(r.hbm.memory_edp(), r.ddr3.memory_edp());
+  EXPECT_LT(r.hbm.memory_edp(), r.lp.memory_edp());
+  EXPECT_LT(r.moca.memory_edp(), r.ddr3.memory_edp());
+}
+
+TEST(Headline, GccAnecdoteMocaPromotesSymtab) {
+  // Sec. VI-A: Heter-App leaves all of gcc in LPDDR (slow); MOCA promotes
+  // the higher-MPKI object into RLDRAM and wins decisively.
+  const SingleCoreRuns r = run_all("gcc", experiment());
+  EXPECT_GT(r.heter.total_mem_access_time, r.ddr3.total_mem_access_time);
+  EXPECT_LT(r.moca.total_mem_access_time, r.ddr3.total_mem_access_time);
+  EXPECT_LT(r.moca.memory_edp(), r.heter.memory_edp() * 0.7);
+}
+
+TEST(Headline, DisparityAnecdoteFirstTouchMisallocation) {
+  // Sec. VI-A: Heter-App's first-touch order parks the lower-MPKI
+  // img_pyramid in RLDRAM ahead of cost_volume; MOCA reverses this.
+  const Experiment e = experiment();
+  const auto db = build_profile_db({"disparity"}, e);
+  const RunResult heter =
+      run_single("disparity", SystemChoice::kHeterApp, db, e);
+  const RunResult moca = run_single("disparity", SystemChoice::kMoca, db, e);
+  // Both fill RLDRAM completely...
+  const std::uint64_t rl_frames = heter.modules[0].capacity_bytes / kPageBytes;
+  EXPECT_EQ(heter.os_stats.frames_per_module[0], rl_frames);
+  EXPECT_EQ(moca.os_stats.frames_per_module[0], rl_frames);
+  // ...but Heter-App's RLDRAM holds the high-MLP img_pyramid (whose misses
+  // would overlap anywhere) while the serial cost_volume chases through
+  // HBM. MOCA reverses this: fewer RLDRAM accesses, all latency-critical,
+  // so wall-clock and EDP win even though the *summed* access time does
+  // not (the paper's disparity discussion, Sec. VI-A).
+  EXPECT_LT(moca.exec_time, heter.exec_time);
+  EXPECT_LT(moca.memory_edp(), heter.memory_edp());
+}
+
+TEST(Headline, MulticoreMocaBeatsHeterAppOn4L) {
+  // Fig. 10's strongest contention set at reduced scale.
+  Experiment e = experiment(350'000);
+  const workload::WorkloadSet set = workload::standard_sets()[0];  // 4L
+  const auto db = build_profile_db(set.apps, e);
+  const RunResult heter =
+      run_workload(set.apps, SystemChoice::kHeterApp, db, e);
+  const RunResult moca = run_workload(set.apps, SystemChoice::kMoca, db, e);
+  EXPECT_LT(moca.total_mem_access_time, heter.total_mem_access_time);
+  EXPECT_LT(moca.memory_edp(), heter.memory_edp());
+  EXPECT_LT(moca.exec_time, heter.exec_time);
+}
+
+TEST(Headline, MulticoreMocaBestEdpVsAllHomogeneous) {
+  Experiment e = experiment(350'000);
+  const workload::WorkloadSet set = workload::standard_sets()[6];  // 2L1B1N
+  const auto db = build_profile_db(set.apps, e);
+  const double moca =
+      run_workload(set.apps, SystemChoice::kMoca, db, e).memory_edp();
+  for (const SystemChoice choice :
+       {SystemChoice::kHomogenDdr3, SystemChoice::kHomogenLpddr2,
+        SystemChoice::kHomogenRldram, SystemChoice::kHomogenHbm}) {
+    EXPECT_LT(moca, run_workload(set.apps, choice, db, e).memory_edp())
+        << to_string(choice);
+  }
+}
+
+TEST(Headline, Config1MostEnergyEfficientForMoca) {
+  // Sec. VI-C: "config1 provides the best memory system energy efficiency".
+  Experiment e = experiment(350'000);
+  const workload::WorkloadSet set = workload::standard_sets()[1];  // 3L1B
+  const auto db = build_profile_db(set.apps, e);
+  std::map<int, double> edp;
+  for (int config = 1; config <= 3; ++config) {
+    Experiment ec = e;
+    ec.hetero_config = config;
+    edp[config] =
+        run_workload(set.apps, SystemChoice::kMoca, db, ec).memory_edp();
+  }
+  EXPECT_LT(edp[1], edp[2]);
+  EXPECT_LT(edp[1], edp[3]);
+}
+
+TEST(Headline, StackAndCodeStayColdEverywhere) {
+  const Experiment e = experiment(300'000);
+  for (const workload::AppSpec& app : workload::standard_suite()) {
+    const core::AppProfile p = profile_app(app, e);
+    EXPECT_LT(p.stack_mpki(), 1.0) << app.name;
+    EXPECT_LT(p.code_mpki(), 1.0) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace moca::sim

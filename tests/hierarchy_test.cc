@@ -1,0 +1,258 @@
+// Tests for the two-level hierarchy: latencies, MSHR merging/limits,
+// write policies, writebacks, deferred misses, miss attribution.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/event_queue.h"
+#include "common/units.h"
+
+namespace moca::cache {
+namespace {
+
+constexpr TimePs kMemLatency = 60'000;  // fake DRAM: flat 60 ns
+
+struct Fixture {
+  EventQueue events;
+  std::vector<std::pair<std::uint64_t, bool>> memory_traffic;
+  std::unique_ptr<MemHierarchy> hier;
+  std::vector<AccessContext> misses;
+
+  explicit Fixture(CacheConfig l1 = default_l1d(),
+                   CacheConfig l2 = default_l2()) {
+    hier = std::make_unique<MemHierarchy>(
+        l1, l2, events,
+        [this](std::uint64_t paddr, bool is_write,
+               std::function<void(TimePs)> cb) {
+          memory_traffic.emplace_back(paddr, is_write);
+          if (cb) {
+            events.schedule(events.now() + kMemLatency,
+                            [cb = std::move(cb), t = events.now() +
+                                                     kMemLatency] { cb(t); });
+          }
+        });
+    hier->set_llc_miss_observer(
+        [this](const AccessContext& ctx) { misses.push_back(ctx); });
+  }
+
+  std::optional<TimePs> load(std::uint64_t addr, IssueResult* out = nullptr) {
+    std::optional<TimePs> done;
+    AccessContext ctx;
+    ctx.object = addr / MiB;  // arbitrary tag for attribution checks
+    const IssueResult r =
+        hier->issue_load(addr, ctx, [&done](TimePs t) { done = t; });
+    if (out) *out = r;
+    events.run_until(events.now() + 1'000'000);
+    return done;
+  }
+};
+
+TEST(Hierarchy, L1HitLatencyIsTwoCycles) {
+  Fixture f;
+  (void)f.load(0x1000);  // warm
+  IssueResult r;
+  const TimePs start = f.events.now();
+  std::optional<TimePs> done;
+  AccessContext ctx;
+  r = f.hier->issue_load(0x1000, ctx, [&](TimePs t) { done = t; });
+  f.events.run_until(start + 100'000);
+  EXPECT_EQ(r, IssueResult::kL1Hit);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done - start, 2'000);
+}
+
+TEST(Hierarchy, LlcMissLatencyIncludesL2AndMemory) {
+  Fixture f;
+  IssueResult r;
+  const std::optional<TimePs> done = f.load(0x2000, &r);
+  EXPECT_EQ(r, IssueResult::kLlcMiss);
+  ASSERT_TRUE(done.has_value());
+  // L2 lookup (20 cycles) + flat memory latency.
+  EXPECT_EQ(*done, 20'000 + kMemLatency);
+  EXPECT_EQ(f.memory_traffic.size(), 1u);
+  EXPECT_FALSE(f.memory_traffic[0].second);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  CacheConfig l1 = default_l1d();
+  l1.size_bytes = 2 * kLineBytes;  // 1 set x 2 ways
+  l1.associativity = 2;
+  Fixture f(l1);
+  (void)f.load(0 * 64);
+  (void)f.load(1 * 64);
+  (void)f.load(2 * 64);  // evicts line 0 from L1; still in L2
+  IssueResult r;
+  const TimePs start = f.events.now();
+  std::optional<TimePs> done;
+  AccessContext ctx;
+  r = f.hier->issue_load(0, ctx, [&](TimePs t) { done = t; });
+  f.events.run_until(start + 1'000'000);
+  EXPECT_EQ(r, IssueResult::kL2Hit);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done - start, 20'000);
+  EXPECT_EQ(f.memory_traffic.size(), 3u);  // no new memory fetch
+}
+
+TEST(Hierarchy, SameLineLoadsMergeIntoOneMemoryRequest) {
+  Fixture f;
+  std::vector<TimePs> dones;
+  AccessContext ctx;
+  for (int i = 0; i < 4; ++i) {
+    const IssueResult r = f.hier->issue_load(
+        0x3000 + static_cast<std::uint64_t>(i) * 8, ctx,
+        [&dones](TimePs t) { dones.push_back(t); });
+    EXPECT_EQ(r, IssueResult::kLlcMiss);
+  }
+  f.events.run_until(1'000'000);
+  EXPECT_EQ(dones.size(), 4u);
+  EXPECT_EQ(f.memory_traffic.size(), 1u);   // one fill
+  EXPECT_EQ(f.misses.size(), 1u);           // one primary miss reported
+  EXPECT_EQ(f.hier->stats().l1_load_merges, 3u);
+  for (const TimePs t : dones) EXPECT_EQ(t, dones[0]);
+}
+
+TEST(Hierarchy, L1MshrLimitRejectsFifthMiss) {
+  Fixture f;  // L1 has 4 MSHRs
+  AccessContext ctx;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.hier->issue_load(static_cast<std::uint64_t>(i) * 4096, ctx,
+                                 [](TimePs) {}),
+              IssueResult::kLlcMiss);
+  }
+  EXPECT_EQ(f.hier->l1_mshrs_in_use(), 4u);
+  EXPECT_EQ(f.hier->issue_load(5 * 4096, ctx, [](TimePs) {}),
+            IssueResult::kNoMshr);
+  f.events.run_until(1'000'000);
+  EXPECT_EQ(f.hier->l1_mshrs_in_use(), 0u);  // all released after fills
+  // Rejected load recorded nothing.
+  EXPECT_EQ(f.hier->stats().loads, 4u);
+}
+
+TEST(Hierarchy, L2MshrLimitDefersButCompletes) {
+  CacheConfig l1 = default_l1d();
+  l1.mshrs = 64;  // let L1 pass everything through
+  CacheConfig l2 = default_l2();
+  l2.mshrs = 2;
+  Fixture f(l1, l2);
+  AccessContext ctx;
+  int completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    (void)f.hier->issue_load(static_cast<std::uint64_t>(i) * 4096, ctx,
+                             [&completed](TimePs) { ++completed; });
+  }
+  EXPECT_EQ(f.hier->l2_mshrs_in_use(), 2u);
+  EXPECT_EQ(f.hier->deferred_requests(), 4u);
+  f.events.run_until(10'000'000);
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(f.hier->deferred_requests(), 0u);
+  EXPECT_EQ(f.memory_traffic.size(), 6u);
+}
+
+TEST(Hierarchy, StoreHitMarksDirtyAndWritesBackOnEviction) {
+  CacheConfig l1 = default_l1d();
+  l1.size_bytes = 2 * kLineBytes;
+  l1.associativity = 1;  // 2 sets x 1 way
+  Fixture f(l1);
+  AccessContext ctx;
+  (void)f.load(0);  // line 0 resident in L1+L2
+  f.hier->issue_store(0, ctx);  // dirty in L1
+  // Evict line 0 from L1 via a conflicting load (same set: stride 2 lines).
+  (void)f.load(2 * 64);
+  // Dirty victim folded into L2, not yet to memory.
+  const std::size_t before = f.memory_traffic.size();
+  // Now force it out of L2 too? Just check no spurious memory write so far.
+  std::size_t writes = 0;
+  for (const auto& [addr, is_write] : f.memory_traffic) writes += is_write;
+  EXPECT_EQ(writes, 0u);
+  EXPECT_EQ(f.memory_traffic.size(), before);
+}
+
+TEST(Hierarchy, StoreMissAllocatesAtL2NotL1) {
+  Fixture f;
+  AccessContext ctx;
+  f.hier->issue_store(0x9000, ctx);
+  f.events.run_until(1'000'000);
+  EXPECT_EQ(f.memory_traffic.size(), 1u);  // write-allocate fill (a read)
+  EXPECT_FALSE(f.memory_traffic[0].second);
+  EXPECT_FALSE(f.hier->l1().contains(0x9000));
+  EXPECT_TRUE(f.hier->l2().contains(0x9000));
+  // A later load finds it in L2.
+  IssueResult r;
+  std::optional<TimePs> done;
+  r = f.hier->issue_load(0x9000, ctx, [&](TimePs t) { done = t; });
+  EXPECT_EQ(r, IssueResult::kL2Hit);
+}
+
+TEST(Hierarchy, StoreToPendingLoadLineMergesAndDirties) {
+  Fixture f;
+  AccessContext ctx;
+  std::optional<TimePs> done;
+  (void)f.hier->issue_load(0xA000, ctx, [&](TimePs t) { done = t; });
+  f.hier->issue_store(0xA000 + 8, ctx);
+  f.events.run_until(1'000'000);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(f.memory_traffic.size(), 1u);  // single fill serves both
+  EXPECT_TRUE(f.hier->l1().contains(0xA000));
+}
+
+TEST(Hierarchy, DirtyL2EvictionWritesToMemory) {
+  CacheConfig l2 = default_l2();
+  l2.size_bytes = 2 * kLineBytes;  // tiny L2: 1 set x 2? keep 2 sets x 1 way
+  l2.associativity = 1;
+  CacheConfig l1 = default_l1d();
+  Fixture f(l1, l2);
+  AccessContext ctx;
+  f.hier->issue_store(0, ctx);  // dirty line 0 in L2
+  f.events.run_until(1'000'000);
+  // Conflict in set 0 of L2 (2 sets -> stride 2 lines).
+  (void)f.load(2 * 64);
+  std::size_t writes = 0;
+  for (const auto& [addr, is_write] : f.memory_traffic) {
+    if (is_write) {
+      ++writes;
+      EXPECT_EQ(addr, 0u);
+    }
+  }
+  EXPECT_EQ(writes, 1u);
+  EXPECT_EQ(f.hier->stats().writebacks, 1u);
+}
+
+TEST(Hierarchy, MissObserverReceivesAttributionContext) {
+  Fixture f;
+  AccessContext ctx;
+  ctx.object = 77;
+  ctx.process = 3;
+  ctx.is_load = true;
+  (void)f.hier->issue_load(0xB000, ctx, [](TimePs) {});
+  f.events.run_until(1'000'000);
+  ASSERT_EQ(f.misses.size(), 1u);
+  EXPECT_EQ(f.misses[0].object, 77u);
+  EXPECT_EQ(f.misses[0].process, 3u);
+  EXPECT_TRUE(f.misses[0].is_load);
+
+  AccessContext store_ctx;
+  store_ctx.object = 99;
+  f.hier->issue_store(0xC000, store_ctx);
+  f.events.run_until(f.events.now() + 1'000'000);
+  ASSERT_EQ(f.misses.size(), 2u);
+  EXPECT_EQ(f.misses[1].object, 99u);
+  EXPECT_FALSE(f.misses[1].is_load);
+}
+
+TEST(Hierarchy, StatsConservation) {
+  Fixture f;
+  AccessContext ctx;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    (void)f.load(i * 64);
+  }
+  const HierarchyStats& s = f.hier->stats();
+  EXPECT_EQ(s.loads, 100u);
+  EXPECT_EQ(s.l1_load_hits + s.l1_load_merges + s.llc_misses + s.l2_hits,
+            100u);
+  EXPECT_EQ(f.misses.size(), s.llc_misses);
+}
+
+}  // namespace
+}  // namespace moca::cache

@@ -1,0 +1,152 @@
+// Object-lifetime tests: heap free-list recycling, registry liveness,
+// allocator free, transient workload objects, and profile merging across
+// instances of one allocation site (paper Sec. IV-A: "Memory objects
+// instantiated during both the fast-forward phase and the execution phase
+// are all recorded").
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "moca/allocator.h"
+#include "moca/object_registry.h"
+#include "os/address_space.h"
+#include "sim/runner.h"
+#include "workload/app_stream.h"
+#include "workload/suite.h"
+
+namespace moca {
+namespace {
+
+TEST(AddressSpaceFree, SameSizeReusesTheBlock) {
+  os::AddressSpace space(0);
+  const os::VirtAddr a = space.alloc_heap(os::Segment::kHeapPow, 4096);
+  space.free_heap(os::Segment::kHeapPow, a, 4096);
+  EXPECT_EQ(space.alloc_heap(os::Segment::kHeapPow, 4096), a);
+}
+
+TEST(AddressSpaceFree, DifferentSizeDoesNotReuse) {
+  os::AddressSpace space(0);
+  const os::VirtAddr a = space.alloc_heap(os::Segment::kHeapPow, 4096);
+  space.free_heap(os::Segment::kHeapPow, a, 4096);
+  const os::VirtAddr b = space.alloc_heap(os::Segment::kHeapPow, 8192);
+  EXPECT_NE(b, a);
+  // The freed 4K block is still available afterwards.
+  EXPECT_EQ(space.alloc_heap(os::Segment::kHeapPow, 4096), a);
+}
+
+TEST(AddressSpaceFree, PartitionsHaveSeparateFreeLists) {
+  os::AddressSpace space(0);
+  const os::VirtAddr a = space.alloc_heap(os::Segment::kHeapLat, 4096);
+  space.free_heap(os::Segment::kHeapLat, a, 4096);
+  const os::VirtAddr b = space.alloc_heap(os::Segment::kHeapBw, 4096);
+  EXPECT_EQ(os::segment_of(b), os::Segment::kHeapBw);
+  EXPECT_NE(a, b);
+}
+
+TEST(AddressSpaceFree, WrongPartitionThrows) {
+  os::AddressSpace space(0);
+  const os::VirtAddr a = space.alloc_heap(os::Segment::kHeapLat, 64);
+  EXPECT_THROW(space.free_heap(os::Segment::kHeapBw, a, 64), CheckError);
+}
+
+TEST(RegistryLiveness, RemovedInstanceStopsResolving) {
+  core::ObjectRegistry reg;
+  const std::uint64_t id =
+      reg.add(1, 0, 0x1000, 256, os::MemClass::kLatency, "x");
+  ASSERT_NE(reg.find(0, 0x1010), nullptr);
+  reg.remove(id);
+  EXPECT_EQ(reg.find(0, 0x1010), nullptr);
+  // The record survives for profiling, marked dead.
+  EXPECT_FALSE(reg.instance(id).live);
+  EXPECT_EQ(reg.instance(id).bytes, 256u);
+  EXPECT_THROW(reg.remove(id), CheckError);  // double free
+}
+
+TEST(RegistryLiveness, RangeReusableAfterRemove) {
+  core::ObjectRegistry reg;
+  const std::uint64_t a =
+      reg.add(1, 0, 0x1000, 256, os::MemClass::kLatency, "a");
+  reg.remove(a);
+  const std::uint64_t b =
+      reg.add(2, 0, 0x1000, 256, os::MemClass::kBandwidth, "b");
+  ASSERT_NE(reg.find(0, 0x1010), nullptr);
+  EXPECT_EQ(reg.find(0, 0x1010)->id, b);
+}
+
+TEST(AllocatorFree, RecyclesRangeAndKeepsClassPartition) {
+  os::AddressSpace space(0);
+  core::ObjectRegistry registry;
+  core::ClassifiedApp classes;
+  const std::array<std::uint64_t, 2> stack{0x111, 0x222};
+  classes.object_class[core::name_object(stack)] = os::MemClass::kLatency;
+  core::MocaAllocator alloc(space, registry, &classes);
+
+  const auto first = alloc.malloc_named(stack, 4096, "t");
+  EXPECT_EQ(os::segment_of(first.base), os::Segment::kHeapLat);
+  alloc.free_object(first.runtime_id);
+  const auto second = alloc.malloc_named(stack, 4096, "t");
+  EXPECT_EQ(second.base, first.base);  // recycled range
+  EXPECT_NE(second.runtime_id, first.runtime_id);
+  EXPECT_EQ(second.name, first.name);  // same site, same name
+}
+
+TEST(TransientObjects, StreamRecyclesInstances) {
+  os::AddressSpace space(0);
+  core::ObjectRegistry registry;
+  core::MocaAllocator alloc(space, registry, nullptr);
+  workload::AppSpec app = workload::app_by_name("milc");
+  // Find the transient object spec (tmp_a).
+  std::uint64_t lifetime = 0;
+  for (const workload::ObjectSpec& o : app.objects) {
+    if (o.lifetime_accesses > 0) lifetime = o.lifetime_accesses;
+  }
+  ASSERT_GT(lifetime, 0u);
+
+  workload::AppStream stream(app, 1.0, 5, alloc, space);
+  const std::size_t initial_instances = registry.size();
+  for (int i = 0; i < 600'000; ++i) (void)stream.next();
+  EXPECT_GT(registry.size(), initial_instances);
+
+  // All instances of the transient share one name; exactly one is live.
+  std::set<core::ObjectName> names;
+  int live = 0, dead = 0;
+  for (const core::ObjectInstance& inst : registry.all()) {
+    if (inst.label != "tmp_a") continue;
+    names.insert(inst.name);
+    inst.live ? ++live : ++dead;
+  }
+  EXPECT_EQ(names.size(), 1u);
+  EXPECT_EQ(live, 1);
+  EXPECT_GT(dead, 0);
+}
+
+TEST(TransientObjects, ProfilerMergesInstancesByName) {
+  sim::Experiment e;
+  e.instructions = 500'000;
+  const core::AppProfile profile =
+      sim::profile_app(workload::app_by_name("milc"), e);
+  bool found = false;
+  for (const auto& [name, obj] : profile.objects) {
+    if (obj.label == "tmp_a") {
+      found = true;
+      EXPECT_GT(obj.allocations, 1u);  // merged across instances
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransientObjects, DeterministicWithRecycling) {
+  sim::Experiment e;
+  e.instructions = 200'000;
+  const std::map<std::string, core::ClassifiedApp> db;
+  const sim::RunResult a =
+      sim::run_single("gcc", sim::SystemChoice::kHomogenDdr3, db, e);
+  const sim::RunResult b =
+      sim::run_single("gcc", sim::SystemChoice::kHomogenDdr3, db, e);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.total_llc_misses, b.total_llc_misses);
+}
+
+}  // namespace
+}  // namespace moca

@@ -1,0 +1,286 @@
+// OS-layer tests: layout decode, address spaces, page tables, TLB,
+// frame allocation, policy-driven placement and fallback chains.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "common/event_queue.h"
+#include "dram/module.h"
+#include "moca/policies.h"
+#include "os/address_space.h"
+#include "os/os.h"
+#include "os/page_table.h"
+#include "os/physical_memory.h"
+#include "os/policy.h"
+
+namespace moca::os {
+namespace {
+
+TEST(Layout, SegmentDecode) {
+  EXPECT_EQ(segment_of(kCodeBase + 100), Segment::kCode);
+  EXPECT_EQ(segment_of(kDataBase + 100), Segment::kData);
+  EXPECT_EQ(segment_of(kStackBase + 100), Segment::kStack);
+  EXPECT_EQ(segment_of(kHeapLatBase + 100), Segment::kHeapLat);
+  EXPECT_EQ(segment_of(kHeapBwBase + 100), Segment::kHeapBw);
+  EXPECT_EQ(segment_of(kHeapPowBase + 100), Segment::kHeapPow);
+}
+
+TEST(Layout, HeapSegmentForClass) {
+  EXPECT_EQ(heap_segment_for(MemClass::kLatency), Segment::kHeapLat);
+  EXPECT_EQ(heap_segment_for(MemClass::kBandwidth), Segment::kHeapBw);
+  EXPECT_EQ(heap_segment_for(MemClass::kNonIntensive), Segment::kHeapPow);
+}
+
+TEST(Layout, ClassStrings) {
+  EXPECT_EQ(class_letter(MemClass::kLatency), 'L');
+  EXPECT_EQ(class_letter(MemClass::kBandwidth), 'B');
+  EXPECT_EQ(class_letter(MemClass::kNonIntensive), 'N');
+  EXPECT_EQ(to_string(Segment::kHeapBw), "heap-bw");
+}
+
+TEST(AddressSpace, HeapAllocationsAreDisjointAndAligned) {
+  AddressSpace space(0);
+  const VirtAddr a = space.alloc_heap(Segment::kHeapLat, 100);
+  const VirtAddr b = space.alloc_heap(Segment::kHeapLat, 100);
+  EXPECT_EQ(a, kHeapLatBase);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(b % kLineBytes, 0u);
+  EXPECT_EQ(space.heap_bytes(Segment::kHeapLat), 256u);  // 2 x 128 aligned
+  // Partitions are independent.
+  const VirtAddr c = space.alloc_heap(Segment::kHeapBw, 64);
+  EXPECT_EQ(c, kHeapBwBase);
+}
+
+TEST(AddressSpace, NonHeapSegmentsBump) {
+  AddressSpace space(1);
+  EXPECT_EQ(space.alloc_stack(1024), kStackBase);
+  EXPECT_EQ(space.alloc_code(4096), kCodeBase);
+  EXPECT_EQ(space.alloc_data(64), kDataBase);
+  EXPECT_GT(space.alloc_stack(64), kStackBase);
+}
+
+TEST(AddressSpace, RejectsNonHeapSegmentInAllocHeap) {
+  AddressSpace space(0);
+  EXPECT_THROW((void)space.alloc_heap(Segment::kStack, 64), CheckError);
+}
+
+TEST(PageTable, MapLookupUnmap) {
+  PageTable pt;
+  EXPECT_FALSE(pt.lookup(7).has_value());
+  pt.map(7, 1234);
+  ASSERT_TRUE(pt.lookup(7).has_value());
+  EXPECT_EQ(*pt.lookup(7), 1234u);
+  EXPECT_EQ(pt.unmap(7), 1234u);
+  EXPECT_FALSE(pt.lookup(7).has_value());
+}
+
+TEST(PageTable, DoubleMapThrows) {
+  PageTable pt;
+  pt.map(1, 2);
+  EXPECT_THROW(pt.map(1, 3), CheckError);
+  EXPECT_THROW((void)pt.unmap(9), CheckError);
+}
+
+TEST(Tlb, HitMissAndLru) {
+  Tlb tlb(2);
+  EXPECT_FALSE(tlb.lookup(0, 1).has_value());
+  tlb.insert(0, 1, 11);
+  tlb.insert(0, 2, 22);
+  EXPECT_EQ(*tlb.lookup(0, 1), 11u);  // 2 becomes LRU
+  tlb.insert(0, 3, 33);               // evicts vpn 2
+  EXPECT_TRUE(tlb.lookup(0, 1).has_value());
+  EXPECT_FALSE(tlb.lookup(0, 2).has_value());
+  EXPECT_TRUE(tlb.lookup(0, 3).has_value());
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, EntriesAreProcessScoped) {
+  Tlb tlb(8);
+  tlb.insert(0, 5, 50);
+  EXPECT_FALSE(tlb.lookup(1, 5).has_value());
+  EXPECT_TRUE(tlb.lookup(0, 5).has_value());
+}
+
+TEST(FrameAllocator, ExhaustsAndRecycles) {
+  FrameAllocator fa(3);
+  EXPECT_EQ(*fa.allocate(), 0u);
+  EXPECT_EQ(*fa.allocate(), 1u);
+  EXPECT_EQ(*fa.allocate(), 2u);
+  EXPECT_FALSE(fa.allocate().has_value());
+  EXPECT_TRUE(fa.full());
+  fa.free(1);
+  EXPECT_FALSE(fa.full());
+  EXPECT_EQ(*fa.allocate(), 1u);
+  EXPECT_EQ(fa.used_frames(), 3u);
+}
+
+TEST(PolicyChains, MatchPaperPreferences) {
+  using dram::MemKind;
+  const auto lat = chain_for_class(MemClass::kLatency);
+  EXPECT_EQ(lat.front(), MemKind::kRldram3);
+  EXPECT_EQ(lat[1], MemKind::kHbm);
+  const auto bw = chain_for_class(MemClass::kBandwidth);
+  EXPECT_EQ(bw.front(), MemKind::kHbm);
+  EXPECT_EQ(bw[1], MemKind::kLpddr2);  // "next best for HBM is LPDDR"
+  const auto pow = chain_for_class(MemClass::kNonIntensive);
+  EXPECT_EQ(pow.front(), MemKind::kLpddr2);
+}
+
+struct OsFixture {
+  EventQueue events;
+  std::vector<std::unique_ptr<dram::MemoryModule>> modules;
+  PhysicalMemory phys;
+
+  void add(dram::MemKind kind, std::uint64_t capacity, std::string name) {
+    modules.push_back(std::make_unique<dram::MemoryModule>(
+        dram::make_device(kind), capacity, 1, events, std::move(name)));
+    phys.add_module(modules.back().get());
+  }
+};
+
+TEST(PhysicalMemory, LocateRoutesToOwningModule) {
+  OsFixture f;
+  f.add(dram::MemKind::kRldram3, 1 * MiB, "rl");
+  f.add(dram::MemKind::kHbm, 2 * MiB, "hbm");
+  // Frames 0..255 -> module 0; 256..767 -> module 1.
+  const auto loc0 = f.phys.locate(5 * kPageBytes + 17);
+  EXPECT_EQ(loc0.module_index, 0u);
+  EXPECT_EQ(loc0.local_addr, 5 * kPageBytes + 17);
+  const auto loc1 = f.phys.locate(300 * kPageBytes + 3);
+  EXPECT_EQ(loc1.module_index, 1u);
+  EXPECT_EQ(loc1.local_addr, (300 - 256) * kPageBytes + 3);
+  EXPECT_THROW((void)f.phys.locate(10 * MiB), CheckError);
+}
+
+TEST(PhysicalMemory, ModulesOfKind) {
+  OsFixture f;
+  f.add(dram::MemKind::kLpddr2, 1 * MiB, "lp-a");
+  f.add(dram::MemKind::kRldram3, 1 * MiB, "rl");
+  f.add(dram::MemKind::kLpddr2, 1 * MiB, "lp-b");
+  const auto lp = f.phys.modules_of_kind(dram::MemKind::kLpddr2);
+  ASSERT_EQ(lp.size(), 2u);
+  EXPECT_EQ(lp[0], 0u);
+  EXPECT_EQ(lp[1], 2u);
+  EXPECT_TRUE(f.phys.modules_of_kind(dram::MemKind::kHbm).empty());
+}
+
+TEST(Os, MocaPolicyPlacesPartitionsOnMatchingModules) {
+  OsFixture f;
+  f.add(dram::MemKind::kRldram3, 1 * MiB, "rl");
+  f.add(dram::MemKind::kHbm, 1 * MiB, "hbm");
+  f.add(dram::MemKind::kLpddr2, 1 * MiB, "lp");
+  core::MocaPolicy policy;
+  Os os(f.phys, policy);
+  const ProcessId pid = os.create_process();
+
+  const auto lat = os.translate(pid, kHeapLatBase);
+  EXPECT_TRUE(lat.page_fault);
+  EXPECT_EQ(f.phys.locate(lat.paddr).module_index, 0u);
+
+  const auto bw = os.translate(pid, kHeapBwBase);
+  EXPECT_EQ(f.phys.locate(bw.paddr).module_index, 1u);
+
+  const auto pow = os.translate(pid, kHeapPowBase);
+  EXPECT_EQ(f.phys.locate(pow.paddr).module_index, 2u);
+
+  const auto stack = os.translate(pid, kStackBase);
+  EXPECT_EQ(f.phys.locate(stack.paddr).module_index, 2u);
+
+  // Second touch of a mapped page: no fault, same frame.
+  const auto again = os.translate(pid, kHeapLatBase + 8);
+  EXPECT_FALSE(again.page_fault);
+  EXPECT_EQ(again.paddr, lat.paddr + 8);
+  EXPECT_EQ(os.stats().page_faults, 4u);
+}
+
+TEST(Os, CapacityFallbackWalksChain) {
+  OsFixture f;
+  f.add(dram::MemKind::kRldram3, 2 * kPageBytes * 1024, "rl-tiny");  // 2K pages
+  f.add(dram::MemKind::kHbm, 8 * MiB, "hbm");
+  f.add(dram::MemKind::kLpddr2, 8 * MiB, "lp");
+  core::MocaPolicy policy;
+  Os os(f.phys, policy);
+  const ProcessId pid = os.create_process();
+
+  // Touch 3K latency-heap pages: the first 2K land in RLDRAM, the rest
+  // spill to HBM (the latency chain's second choice).
+  for (std::uint64_t p = 0; p < 3072; ++p) {
+    (void)os.translate(pid, kHeapLatBase + p * kPageBytes);
+  }
+  EXPECT_EQ(os.stats().frames_per_module[0], 2048u);
+  EXPECT_EQ(os.stats().frames_per_module[1], 1024u);
+  EXPECT_EQ(os.stats().fallback_allocations, 1024u);
+  EXPECT_EQ(os.stats().last_resort_allocations, 0u);
+}
+
+TEST(Os, LastResortWhenWholeChainFull) {
+  OsFixture f;
+  f.add(dram::MemKind::kLpddr2, kPageBytes * 1024, "lp-tiny");  // 1K pages
+  f.add(dram::MemKind::kRldram3, kPageBytes * 2048, "rl");
+  core::MocaPolicy policy;  // pow chain: LP > DDR3 > HBM > RL
+  Os os(f.phys, policy);
+  const ProcessId pid = os.create_process();
+  for (std::uint64_t p = 0; p < 2048; ++p) {
+    (void)os.translate(pid, kHeapPowBase + p * kPageBytes);
+  }
+  EXPECT_EQ(os.stats().frames_per_module[0], 1024u);
+  EXPECT_EQ(os.stats().frames_per_module[1], 1024u);
+  // RLDRAM is the pow-chain's last entry, so it is reached by chain
+  // fallback, not the last-resort scan.
+  EXPECT_EQ(os.stats().last_resort_allocations, 0u);
+  EXPECT_EQ(os.stats().fallback_allocations, 1024u);
+}
+
+TEST(Os, OutOfMemoryThrows) {
+  OsFixture f;
+  f.add(dram::MemKind::kLpddr2, kPageBytes * 8, "minuscule");
+  core::MocaPolicy policy;
+  Os os(f.phys, policy);
+  const ProcessId pid = os.create_process();
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    (void)os.translate(pid, kHeapPowBase + p * kPageBytes);
+  }
+  EXPECT_THROW((void)os.translate(pid, kHeapPowBase + 8 * kPageBytes),
+               CheckError);
+}
+
+TEST(Os, HeterAppPolicyFollowsProcessClass) {
+  OsFixture f;
+  f.add(dram::MemKind::kRldram3, 4 * MiB, "rl");
+  f.add(dram::MemKind::kHbm, 4 * MiB, "hbm");
+  f.add(dram::MemKind::kLpddr2, 4 * MiB, "lp");
+  core::HeterAppPolicy policy;
+  Os os(f.phys, policy);
+  const ProcessId lat_app = os.create_process();
+  os.set_app_class(lat_app, MemClass::kLatency);
+  const ProcessId n_app = os.create_process();
+  os.set_app_class(n_app, MemClass::kNonIntensive);
+
+  // Every segment of the L app goes to RLDRAM, including its BW heap.
+  EXPECT_EQ(f.phys.locate(os.translate(lat_app, kHeapBwBase).paddr)
+                .module_index,
+            0u);
+  EXPECT_EQ(
+      f.phys.locate(os.translate(lat_app, kStackBase).paddr).module_index,
+      0u);
+  // Every segment of the N app goes to LPDDR.
+  EXPECT_EQ(f.phys.locate(os.translate(n_app, kHeapLatBase).paddr)
+                .module_index,
+            2u);
+}
+
+TEST(Os, ProcessesHaveIndependentAddressSpaces) {
+  OsFixture f;
+  f.add(dram::MemKind::kDdr3, 4 * MiB, "ddr3");
+  core::HomogeneousPolicy policy(dram::MemKind::kDdr3);
+  Os os(f.phys, policy);
+  const ProcessId a = os.create_process();
+  const ProcessId b = os.create_process();
+  const auto pa = os.translate(a, kHeapPowBase);
+  const auto pb = os.translate(b, kHeapPowBase);
+  EXPECT_NE(pa.paddr, pb.paddr);  // same vaddr, distinct frames
+}
+
+}  // namespace
+}  // namespace moca::os

@@ -1,0 +1,155 @@
+// Tests for the workload-spec text format and the latency histogram.
+#include <gtest/gtest.h>
+
+#include "common/event_queue.h"
+#include "dram/controller.h"
+#include "moca/naming.h"
+#include "workload/parse.h"
+#include "workload/suite.h"
+
+namespace moca::workload {
+namespace {
+
+constexpr const char* kSpec = R"(# demo app
+app kvdemo
+class L
+mem_fraction 0.4
+stack_fraction 0.06
+code_fraction 0.01
+stack_kib 16
+code_kib 8
+object log 32 stream weight=0.2 store=0.4 stride=32
+object index 48 chase weight=0.45 hot=0.8 depth=5
+object meta 2 hot weight=0.35 lifetime=20000
+)";
+
+TEST(Parse, ReadsEveryField) {
+  const AppSpec app = parse_app_spec(kSpec);
+  EXPECT_EQ(app.name, "kvdemo");
+  EXPECT_EQ(app.expected_class, os::MemClass::kLatency);
+  EXPECT_DOUBLE_EQ(app.mem_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(app.stack_fraction, 0.06);
+  EXPECT_EQ(app.stack_bytes, 16 * KiB);
+  EXPECT_EQ(app.code_bytes, 8 * KiB);
+  ASSERT_EQ(app.objects.size(), 3u);
+
+  const ObjectSpec& log = app.objects[0];
+  EXPECT_EQ(log.pattern, PatternKind::kStream);
+  EXPECT_EQ(log.bytes, 32 * MiB);
+  EXPECT_DOUBLE_EQ(log.weight, 0.2);
+  EXPECT_DOUBLE_EQ(log.store_fraction, 0.4);
+  EXPECT_EQ(log.stride, 32u);
+
+  const ObjectSpec& index = app.objects[1];
+  EXPECT_EQ(index.pattern, PatternKind::kChase);
+  EXPECT_DOUBLE_EQ(index.hot_fraction, 0.8);
+  EXPECT_EQ(index.alloc_stack.size(), 5u);
+
+  EXPECT_EQ(app.objects[2].lifetime_accesses, 20'000u);
+}
+
+TEST(Parse, RoundTripsThroughSerialize) {
+  const AppSpec a = parse_app_spec(kSpec);
+  const AppSpec b = parse_app_spec(serialize_app_spec(a));
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.expected_class, b.expected_class);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].label, b.objects[i].label);
+    EXPECT_EQ(a.objects[i].bytes, b.objects[i].bytes);
+    EXPECT_EQ(a.objects[i].pattern, b.objects[i].pattern);
+    EXPECT_DOUBLE_EQ(a.objects[i].weight, b.objects[i].weight);
+    EXPECT_EQ(a.objects[i].lifetime_accesses,
+              b.objects[i].lifetime_accesses);
+    EXPECT_EQ(a.objects[i].alloc_stack, b.objects[i].alloc_stack);
+  }
+}
+
+TEST(Parse, NamesAreDeterministicAndCollisionFreeWithSuite) {
+  const AppSpec a = parse_app_spec(kSpec);
+  const AppSpec b = parse_app_spec(kSpec);
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(moca::core::name_object(a.objects[i].alloc_stack),
+              moca::core::name_object(b.objects[i].alloc_stack));
+  }
+  // No collision with the built-in suite's names.
+  for (const AppSpec& suite_app : standard_suite()) {
+    for (const ObjectSpec& so : suite_app.objects) {
+      for (const ObjectSpec& co : a.objects) {
+        EXPECT_NE(moca::core::name_object(so.alloc_stack),
+                  moca::core::name_object(co.alloc_stack));
+      }
+    }
+  }
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_app_spec(""), CheckError);
+  EXPECT_THROW((void)parse_app_spec("app x\n"), CheckError);  // no objects
+  EXPECT_THROW((void)parse_app_spec("object o 4 hot weight=1\n"),
+               CheckError);  // object before app
+  EXPECT_THROW((void)parse_app_spec("app x\nobject o 4 hot\n"),
+               CheckError);  // missing weight
+  EXPECT_THROW((void)parse_app_spec("app x\nobject o 4 warp weight=1\n"),
+               CheckError);  // unknown pattern
+  EXPECT_THROW((void)parse_app_spec("app x\nclass Q\nobject o 4 hot weight=1\n"),
+               CheckError);  // bad class
+  EXPECT_THROW(
+      (void)parse_app_spec("app x\nfrobnicate 3\nobject o 4 hot weight=1\n"),
+      CheckError);  // unknown key
+  EXPECT_THROW(
+      (void)parse_app_spec("app x\nobject o 4 hot weight=abc\n"),
+      CheckError);  // bad number
+}
+
+TEST(Parse, CommentsAndBlankLinesIgnored)
+{
+  const AppSpec app = parse_app_spec(
+      "\n# header\napp mini   # trailing comment\n\n"
+      "object only 4 hot weight=1 # done\n");
+  EXPECT_EQ(app.name, "mini");
+  ASSERT_EQ(app.objects.size(), 1u);
+}
+
+}  // namespace
+}  // namespace moca::workload
+
+namespace moca::dram {
+namespace {
+
+TEST(LatencyHistogram, BucketsAndPercentiles) {
+  ChannelStats s;
+  // 90 requests at ~50 ns, 10 at ~900 ns.
+  for (int i = 0; i < 90; ++i) s.record_latency(50'000);
+  for (int i = 0; i < 10; ++i) s.record_latency(900'000);
+  EXPECT_LE(s.latency_percentile(0.5), 64.0);
+  EXPECT_GE(s.latency_percentile(0.95), 512.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : s.latency_hist) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(LatencyHistogram, PopulatedByController) {
+  EventQueue q;
+  ChannelController ch(make_ddr3(), q, "hist");
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    DramRequest r;
+    ch.enqueue(std::move(r), i % 8, i);
+  }
+  q.run_until(10'000'000);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : ch.stats().latency_hist) total += c;
+  EXPECT_EQ(total, 16u);
+  EXPECT_GT(ch.stats().latency_percentile(0.5), 16.0);
+}
+
+TEST(LatencyHistogram, ExtremeTailsClamp) {
+  ChannelStats s;
+  s.record_latency(0);
+  s.record_latency(1'000'000'000'000LL);  // 1 s
+  EXPECT_EQ(s.latency_hist.front(), 1u);
+  EXPECT_EQ(s.latency_hist.back(), 1u);
+}
+
+}  // namespace
+}  // namespace moca::dram

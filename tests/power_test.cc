@@ -1,0 +1,155 @@
+// Tests for the DRAM and core energy models.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "power/core_power.h"
+#include "power/dram_power.h"
+
+namespace moca::power {
+namespace {
+
+using dram::ChannelStats;
+using dram::MemKind;
+
+ChannelStats stats_with(std::uint64_t reads, std::uint64_t writes,
+                        std::uint64_t activates, std::uint64_t refreshes) {
+  ChannelStats s;
+  s.reads = reads;
+  s.writes = writes;
+  s.row_misses = activates;
+  s.refreshes = refreshes;
+  return s;
+}
+
+TEST(DramPower, StandbyRankingMatchesPaperNarrative) {
+  // Sec. II-A: LPDDR lowest power; RLDRAM static ~4-5x DDR3; HBM above DDR3.
+  const double lp = dram_power_params(MemKind::kLpddr2).standby_mw_per_gb;
+  const double ddr3 = dram_power_params(MemKind::kDdr3).standby_mw_per_gb;
+  const double hbm = dram_power_params(MemKind::kHbm).standby_mw_per_gb;
+  const double rl = dram_power_params(MemKind::kRldram3).standby_mw_per_gb;
+  EXPECT_LT(lp, ddr3);
+  EXPECT_LT(ddr3, hbm);
+  EXPECT_LT(hbm, rl);
+  EXPECT_GE(rl / ddr3, 4.0);
+  EXPECT_LE(rl / ddr3, 5.0);
+}
+
+TEST(DramPower, DynamicEnergyPerAccessRanking) {
+  // HBM is the most efficient per bit moved; RLDRAM mildly above DDR3
+  // (closed page: every access activates) — its real penalty is static
+  // (see dram_power.cc provenance comments).
+  auto per_access = [](MemKind kind) {
+    const DramPowerParams p = dram_power_params(kind);
+    const bool closed_page = kind == MemKind::kRldram3;
+    return p.rw_energy_nj + (closed_page ? p.act_energy_nj : 0.0);
+  };
+  EXPECT_LT(per_access(MemKind::kHbm), per_access(MemKind::kLpddr2));
+  EXPECT_LT(per_access(MemKind::kLpddr2), per_access(MemKind::kDdr3));
+  EXPECT_LT(per_access(MemKind::kDdr3), per_access(MemKind::kRldram3));
+  EXPECT_LE(per_access(MemKind::kRldram3) / per_access(MemKind::kDdr3), 3.0);
+}
+
+TEST(DramPower, ZeroTrafficLeavesOnlyBackground) {
+  const DramPowerParams p = dram_power_params(MemKind::kDdr3);
+  const double e =
+      dram_energy_joules(p, ChannelStats{}, GiB, 1'000'000'000'000LL);
+  EXPECT_NEAR(e, 0.256, 1e-9);  // 256 mW/GB x 1 GiB x 1 s
+}
+
+TEST(DramPower, EnergyMonotonicInAccesses) {
+  const DramPowerParams p = dram_power_params(MemKind::kDdr3);
+  const TimePs t = 1'000'000'000;
+  double prev = 0.0;
+  for (std::uint64_t n = 0; n <= 100'000; n += 10'000) {
+    const double e = dram_energy_joules(p, stats_with(n, n / 4, n / 2, 10),
+                                        512 * MiB, t);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(DramPower, EnergyScalesWithCapacityAndTime) {
+  const DramPowerParams p = dram_power_params(MemKind::kLpddr2);
+  const ChannelStats s = stats_with(1000, 100, 500, 2);
+  const double small = dram_energy_joules(p, s, 256 * MiB, 1'000'000);
+  const double big_cap = dram_energy_joules(p, s, GiB, 1'000'000);
+  const double long_time = dram_energy_joules(p, s, 256 * MiB, 4'000'000);
+  EXPECT_GT(big_cap, small);
+  EXPECT_GT(long_time, small);
+}
+
+TEST(DramPower, AveragePowerIsEnergyOverTime) {
+  const DramPowerParams p = dram_power_params(MemKind::kHbm);
+  const ChannelStats s = stats_with(5000, 500, 2000, 4);
+  const TimePs t = 2'000'000'000;
+  const double e = dram_energy_joules(p, s, 512 * MiB, t);
+  EXPECT_DOUBLE_EQ(dram_power_watts(p, s, 512 * MiB, t),
+                   e / ps_to_seconds(t));
+}
+
+TEST(DramPower, PowerdownReducesIdleBackground) {
+  const DramPowerParams p = dram_power_params(MemKind::kDdr3);
+  const TimePs second = 1'000'000'000'000LL;
+  // Fully idle module for one second.
+  const double flat = dram_energy_joules(p, ChannelStats{}, GiB, second);
+  const double pd =
+      dram_energy_joules(p, ChannelStats{}, GiB, second, true);
+  EXPECT_NEAR(flat, 0.256, 1e-9);
+  EXPECT_NEAR(pd, 0.080, 1e-9);
+}
+
+TEST(DramPower, PowerdownNeverHelpsRldram) {
+  const DramPowerParams p = dram_power_params(MemKind::kRldram3);
+  EXPECT_DOUBLE_EQ(p.powerdown_mw_per_gb, p.standby_mw_per_gb);
+  const TimePs t = 1'000'000'000;
+  EXPECT_DOUBLE_EQ(dram_energy_joules(p, ChannelStats{}, 256 * MiB, t),
+                   dram_energy_joules(p, ChannelStats{}, 256 * MiB, t, true));
+}
+
+TEST(DramPower, BusyModuleSeesNoPowerdownBenefit) {
+  const DramPowerParams p = dram_power_params(MemKind::kHbm);
+  const TimePs t = 1'000'000;  // 1 us
+  // Enough accesses that the active windows cover the whole interval.
+  const ChannelStats busy = stats_with(1'000, 0, 500, 0);
+  EXPECT_DOUBLE_EQ(dram_energy_joules(p, busy, GiB, t),
+                   dram_energy_joules(p, busy, GiB, t, true));
+}
+
+TEST(DramPower, PowerdownInterpolatesWithUtilization) {
+  const DramPowerParams p = dram_power_params(MemKind::kLpddr2);
+  const TimePs t = 1'000'000'000;  // 1 ms
+  double prev = dram_energy_joules(p, ChannelStats{}, GiB, t, true);
+  for (std::uint64_t accesses = 1000; accesses <= 16'000; accesses += 3000) {
+    const double e =
+        dram_energy_joules(p, stats_with(accesses, 0, 0, 0), GiB, t, true);
+    EXPECT_GT(e, prev);  // more activity -> more background + dynamic
+    prev = e;
+  }
+  // Never exceeds flat-standby + dynamic.
+  const ChannelStats s = stats_with(16'000, 0, 0, 0);
+  EXPECT_LE(dram_energy_joules(p, s, GiB, t, true),
+            dram_energy_joules(p, s, GiB, t));
+}
+
+TEST(CorePower, CalibratedConstantMatchesPaper) {
+  // Sec. V-A: ~21 W total across 4 cores.
+  const CorePowerParams p;
+  EXPECT_NEAR(4.0 * p.core_watts, 21.0, 0.01);
+}
+
+TEST(CorePower, EnergyAccumulatesTimeAndCacheAccesses) {
+  const CorePowerParams p;
+  CoreActivity a;
+  a.busy_time = 1'000'000'000;  // 1 ms
+  const double base = core_energy_joules(p, a);
+  EXPECT_NEAR(base, p.core_watts * 1e-3, 1e-12);
+  a.l1_accesses = 1'000'000;
+  a.l2_accesses = 100'000;
+  const double with_caches = core_energy_joules(p, a);
+  EXPECT_GT(with_caches, base);
+  EXPECT_NEAR(with_caches - base,
+              1e-9 * (p.l1_access_nj * 1e6 + p.l2_access_nj * 1e5), 1e-12);
+}
+
+}  // namespace
+}  // namespace moca::power

@@ -1,0 +1,197 @@
+// Robustness and failure-injection tests: corrupted inputs must raise
+// CheckError (never crash or silently succeed), process teardown reclaims
+// frames, and degenerate configurations behave.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "dram/module.h"
+#include "moca/policies.h"
+#include "moca/profile.h"
+#include "os/os.h"
+#include "sim/runner.h"
+#include "trace/record.h"
+#include "trace/trace.h"
+#include "workload/suite.h"
+
+namespace moca {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Fuzz, ProfileDeserializeSurvivesCorruption) {
+  // Start from a valid profile and corrupt it in random ways; every
+  // attempt must either parse or throw CheckError — never crash.
+  core::AppProfile p;
+  p.app_name = "x";
+  p.instructions = 1000;
+  core::ObjectProfile o;
+  o.name = 7;
+  o.label = "obj";
+  p.objects[7] = o;
+  const std::string valid = p.serialize();
+
+  Rng rng(123);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = valid;
+    const int edits = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.next_below(corrupted.size());
+      switch (rng.next_below(3)) {
+        case 0:
+          corrupted[pos] = static_cast<char>('!' + rng.next_below(90));
+          break;
+        case 1:
+          corrupted.erase(pos, 1);
+          break;
+        default:
+          corrupted.insert(pos, 1,
+                           static_cast<char>('0' + rng.next_below(10)));
+          break;
+      }
+    }
+    try {
+      const core::AppProfile q = core::AppProfile::deserialize(corrupted);
+      ++parsed;  // some corruptions remain syntactically valid
+    } catch (const CheckError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 300);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Fuzz, TraceReaderSurvivesCorruption) {
+  const std::string path = temp_path("moca_fuzz_trace.trc");
+  {
+    trace::RecordOptions options;
+    options.ops = 500;
+    (void)trace::record_app_trace(workload::app_by_name("gcc"), path,
+                                  options);
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string corrupted = bytes;
+    // Truncate and/or flip bytes.
+    if (rng.next_bool(0.5) && corrupted.size() > 20) {
+      corrupted.resize(20 + rng.next_below(corrupted.size() - 20));
+    }
+    for (int flips = 0; flips < 3; ++flips) {
+      corrupted[rng.next_below(corrupted.size())] ^=
+          static_cast<char>(1 + rng.next_below(255));
+    }
+    const std::string fuzz_path = temp_path("moca_fuzz_trace_mut.trc");
+    {
+      std::ofstream out(fuzz_path, std::ios::binary | std::ios::trunc);
+      out << corrupted;
+    }
+    try {
+      trace::TraceReader reader(fuzz_path);
+      cpu::MicroOp op;
+      std::uint64_t n = 0;
+      while (reader.next(op) && n < 100'000) ++n;  // must terminate
+    } catch (const CheckError&) {
+      // rejected: fine
+    }
+    std::remove(fuzz_path.c_str());
+  }
+  std::remove(path.c_str());
+  SUCCEED();
+}
+
+TEST(Teardown, DestroyProcessReclaimsEveryFrame) {
+  EventQueue events;
+  dram::MemoryModule module(dram::make_ddr3(), 16 * MiB, 1, events, "m");
+  os::PhysicalMemory phys;
+  phys.add_module(&module);
+  core::HomogeneousPolicy policy(dram::MemKind::kDdr3);
+  os::Os os(phys, policy);
+
+  const os::ProcessId a = os.create_process();
+  const os::ProcessId b = os.create_process();
+  for (int p = 0; p < 100; ++p) {
+    (void)os.translate(a, os::kHeapPowBase + p * kPageBytes);
+    (void)os.translate(b, os::kHeapPowBase + p * kPageBytes);
+  }
+  EXPECT_EQ(phys.allocator(0).used_frames(), 200u);
+
+  os.destroy_process(a);
+  EXPECT_EQ(phys.allocator(0).used_frames(), 100u);
+  EXPECT_EQ(os.stats().frames_per_module[0], 100u);
+  EXPECT_FALSE(os.process_alive(a));
+  EXPECT_TRUE(os.process_alive(b));
+  EXPECT_THROW((void)os.translate(a, os::kHeapPowBase), CheckError);
+  EXPECT_THROW(os.destroy_process(a), CheckError);
+
+  // The freed frames are reusable by the survivor.
+  for (int p = 100; p < 200; ++p) {
+    (void)os.translate(b, os::kHeapPowBase + p * kPageBytes);
+  }
+  EXPECT_EQ(phys.allocator(0).used_frames(), 200u);
+}
+
+TEST(Degenerate, SingleModuleMachineWorksUnderEveryPolicy) {
+  // MOCA on a DDR3-only machine: every chain falls through to DDR3.
+  sim::Experiment e;
+  e.instructions = 80'000;
+  const auto db = sim::build_profile_db({"disparity"}, e);
+
+  sim::SystemOptions options;
+  options.instructions_per_core = e.instructions;
+  sim::AppInstance inst;
+  inst.spec = workload::app_by_name("disparity");
+  inst.classes = db.at("disparity");
+  std::vector<sim::AppInstance> instances;
+  instances.push_back(std::move(inst));
+  sim::System system(sim::homogeneous(dram::MemKind::kDdr3),
+                     std::make_unique<core::MocaPolicy>(),
+                     std::move(instances), options);
+  const sim::RunResult r = system.run();
+  EXPECT_EQ(r.cores[0].core.committed, e.instructions);
+  EXPECT_EQ(r.os_stats.last_resort_allocations, 0u);  // chain reaches DDR3
+}
+
+TEST(Degenerate, KnlTwoTierChainsDegradeGracefully) {
+  sim::Experiment e;
+  e.instructions = 120'000;
+  const auto db = sim::build_profile_db({"disparity"}, e);
+  sim::SystemOptions options;
+  options.instructions_per_core = e.instructions;
+  sim::AppInstance inst;
+  inst.spec = workload::app_by_name("disparity");
+  inst.classes = db.at("disparity");
+  std::vector<sim::AppInstance> instances;
+  instances.push_back(std::move(inst));
+  sim::System system(sim::knl_like(), std::make_unique<core::MocaPolicy>(),
+                     std::move(instances), options);
+  const sim::RunResult r = system.run();
+  // Latency objects land in HBM (no RLDRAM), non-intensive in DDR3 (no
+  // LPDDR).
+  EXPECT_GT(r.os_stats.frames_per_module[1], 0u);
+  EXPECT_GT(r.os_stats.frames_per_module[0], 0u);
+  EXPECT_EQ(r.os_stats.last_resort_allocations, 0u);
+}
+
+TEST(Degenerate, ZeroWeightlessAppRejected) {
+  workload::AppSpec app = workload::app_by_name("gcc");
+  app.objects.clear();
+  os::AddressSpace space(0);
+  core::ObjectRegistry registry;
+  core::MocaAllocator alloc(space, registry, nullptr);
+  EXPECT_THROW(workload::AppStream(app, 1.0, 1, alloc, space), CheckError);
+}
+
+}  // namespace
+}  // namespace moca

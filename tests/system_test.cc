@@ -1,0 +1,258 @@
+// Integration tests: full-system runs, profiling->classification->allocation
+// pipeline, policy placement effects, conservation laws, determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "moca/policies.h"
+#include "sim/runner.h"
+#include "sim/system.h"
+#include "workload/suite.h"
+
+namespace moca::sim {
+namespace {
+
+Experiment small_experiment(std::uint64_t instructions = 200'000) {
+  Experiment e;
+  e.instructions = instructions;
+  return e;
+}
+
+TEST(System, DeterministicAcrossIdenticalRuns) {
+  const Experiment e = small_experiment();
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult a =
+      run_single("mcf", SystemChoice::kHomogenDdr3, empty_db, e);
+  const RunResult b =
+      run_single("mcf", SystemChoice::kHomogenDdr3, empty_db, e);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.total_mem_access_time, b.total_mem_access_time);
+  EXPECT_EQ(a.total_llc_misses, b.total_llc_misses);
+  EXPECT_DOUBLE_EQ(a.memory_energy_j, b.memory_energy_j);
+}
+
+TEST(System, RunsAllCoresToBudget) {
+  const Experiment e = small_experiment(100'000);
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult r = run_workload({"gcc", "lbm", "mcf", "sift"},
+                                   SystemChoice::kHomogenDdr3, empty_db, e);
+  ASSERT_EQ(r.cores.size(), 4u);
+  for (const CoreResult& c : r.cores) {
+    EXPECT_EQ(c.core.committed, e.instructions);
+    EXPECT_GT(c.finish_time, 0);
+    EXPECT_LE(c.finish_time, r.exec_time);
+  }
+  EXPECT_EQ(r.total_instructions, 4 * e.instructions);
+}
+
+TEST(System, MissConservationPerCore) {
+  const Experiment e = small_experiment();
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult r =
+      run_single("milc", SystemChoice::kHomogenDdr3, empty_db, e);
+  const core::AppProfile& p = r.cores[0].profile;
+  std::uint64_t object_misses = 0;
+  for (const auto& [name, obj] : p.objects) object_misses += obj.llc_misses;
+  EXPECT_EQ(object_misses + p.stack_llc_misses + p.code_llc_misses +
+                p.other_llc_misses,
+            p.llc_misses);
+  EXPECT_EQ(p.llc_misses, r.cores[0].hierarchy.llc_misses);
+}
+
+TEST(System, MemoryTrafficReachesModules) {
+  const Experiment e = small_experiment();
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult r =
+      run_single("lbm", SystemChoice::kHomogenDdr3, empty_db, e);
+  ASSERT_EQ(r.modules.size(), 1u);
+  // Demand misses show up as module reads and writebacks as module writes.
+  // Requests in flight across the warmup boundary allow a small skew
+  // (bounded by the MSHR file), in either direction.
+  const auto near = [](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t diff = a > b ? a - b : b - a;
+    return diff <= 64;
+  };
+  EXPECT_TRUE(near(r.modules[0].stats.reads, r.cores[0].hierarchy.llc_misses))
+      << r.modules[0].stats.reads << " vs "
+      << r.cores[0].hierarchy.llc_misses;
+  EXPECT_TRUE(near(r.modules[0].stats.writes,
+                   r.cores[0].hierarchy.writebacks))
+      << r.modules[0].stats.writes << " vs "
+      << r.cores[0].hierarchy.writebacks;
+  EXPECT_GT(r.modules[0].frames_used, 0u);
+  EXPECT_GT(r.modules[0].energy_j, 0.0);
+}
+
+TEST(System, ProfilingSeparatesObjectClasses) {
+  const Experiment e = small_experiment(400'000);
+  // mcf: dominant chase object must profile latency-sensitive.
+  const core::AppProfile mcf =
+      profile_app(workload::app_by_name("mcf"), e);
+  const core::ClassifiedApp mcf_c = classify_for_runtime(mcf, e);
+  bool found_latency_object = false;
+  for (const auto& [name, obj] : mcf.objects) {
+    if (obj.label == "nodes") {
+      EXPECT_GT(obj.mpki(mcf.instructions), e.object_thresholds.thr_lat);
+      EXPECT_GT(obj.stall_per_miss(), e.object_thresholds.thr_bw);
+      EXPECT_EQ(mcf_c.class_of(name), os::MemClass::kLatency);
+      found_latency_object = true;
+    }
+  }
+  EXPECT_TRUE(found_latency_object);
+
+  // lbm: streaming objects must profile bandwidth-sensitive.
+  const core::AppProfile lbm =
+      profile_app(workload::app_by_name("lbm"), e);
+  const core::ClassifiedApp lbm_c = classify_for_runtime(lbm, e);
+  int bandwidth_objects = 0;
+  for (const auto& [name, obj] : lbm.objects) {
+    if (lbm_c.class_of(name) == os::MemClass::kBandwidth) {
+      ++bandwidth_objects;
+    }
+  }
+  EXPECT_GE(bandwidth_objects, 2);
+}
+
+TEST(System, AppLevelClassesMatchTableThree) {
+  const Experiment e = small_experiment(400'000);
+  for (const workload::AppSpec& app : workload::standard_suite()) {
+    const core::AppProfile profile = profile_app(app, e);
+    const core::ClassifiedApp classes = classify_for_runtime(profile, e);
+    EXPECT_EQ(classes.app_class, app.expected_class)
+        << app.name << " mpki=" << profile.app_mpki()
+        << " stall/miss=" << profile.app_stall_per_miss();
+  }
+}
+
+TEST(System, MocaPlacesClassesOnMatchingModules) {
+  const Experiment e = small_experiment(300'000);
+  const auto db = build_profile_db({"disparity"}, e);
+  const RunResult r = run_single("disparity", SystemChoice::kMoca, db, e);
+  ASSERT_EQ(r.modules.size(), 4u);  // RL, HBM, LP, LP
+  // All three module kinds must receive pages (L, B and N objects exist).
+  EXPECT_GT(r.os_stats.frames_per_module[0], 0u);  // RLDRAM
+  EXPECT_GT(r.os_stats.frames_per_module[1], 0u);  // HBM
+  EXPECT_GT(r.os_stats.frames_per_module[2] + r.os_stats.frames_per_module[3],
+            0u);  // LPDDR (stack/code at minimum)
+}
+
+TEST(System, HeterAppPutsWholeLatencyAppInRldramFirst) {
+  const Experiment e = small_experiment(150'000);
+  const auto db = build_profile_db({"mcf"}, e);
+  ASSERT_EQ(db.at("mcf").app_class, os::MemClass::kLatency);
+  const RunResult r = run_single("mcf", SystemChoice::kHeterApp, db, e);
+  // The whole app is placed through the latency chain: RLDRAM fills
+  // completely (mcf's footprint exceeds it), the remainder spills to the
+  // next-best module (HBM), and nothing reaches LPDDR.
+  const std::uint64_t rl_frames = r.modules[0].capacity_bytes / kPageBytes;
+  EXPECT_EQ(r.os_stats.frames_per_module[0], rl_frames);
+  EXPECT_GT(r.os_stats.frames_per_module[1], 0u);
+  EXPECT_EQ(r.os_stats.frames_per_module[2], 0u);
+  EXPECT_EQ(r.os_stats.frames_per_module[3], 0u);
+}
+
+TEST(System, MocaSpillsToNextBestWhenRldramFull) {
+  Experiment e = small_experiment(1'200'000);
+  const auto db = build_profile_db({"mcf"}, e);
+  const RunResult r = run_single("mcf", SystemChoice::kMoca, db, e);
+  const std::uint64_t rl_frames =
+      r.modules[0].capacity_bytes / kPageBytes;
+  // mcf's latency objects cover more pages than RLDRAM has frames: RLDRAM
+  // must be (nearly) full and the OS must have recorded fallbacks.
+  EXPECT_GE(r.os_stats.frames_per_module[0], rl_frames * 95 / 100);
+  EXPECT_GT(r.os_stats.fallback_allocations, 0u);
+}
+
+TEST(System, RldramFasterThanDdr3ForLatencyApp) {
+  const Experiment e = small_experiment();
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult ddr3 =
+      run_single("mcf", SystemChoice::kHomogenDdr3, empty_db, e);
+  const RunResult rl =
+      run_single("mcf", SystemChoice::kHomogenRldram, empty_db, e);
+  EXPECT_LT(rl.total_mem_access_time, ddr3.total_mem_access_time);
+  EXPECT_LT(rl.exec_time, ddr3.exec_time);
+  // ...but at higher memory energy (Sec. VI-A).
+  EXPECT_GT(rl.memory_energy_j, ddr3.memory_energy_j);
+}
+
+TEST(System, LpddrCheapestAndSlowest) {
+  const Experiment e = small_experiment();
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult ddr3 =
+      run_single("lbm", SystemChoice::kHomogenDdr3, empty_db, e);
+  const RunResult lp =
+      run_single("lbm", SystemChoice::kHomogenLpddr2, empty_db, e);
+  EXPECT_GT(lp.total_mem_access_time, ddr3.total_mem_access_time);
+  EXPECT_LT(lp.memory_energy_j, ddr3.memory_energy_j);
+}
+
+TEST(System, EdpDefinitionsConsistent) {
+  const Experiment e = small_experiment(100'000);
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult r =
+      run_single("gcc", SystemChoice::kHomogenDdr3, empty_db, e);
+  EXPECT_GT(r.memory_energy_j, 0.0);
+  EXPECT_GT(r.core_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.system_energy_j(), r.memory_energy_j + r.core_energy_j);
+  EXPECT_DOUBLE_EQ(r.memory_edp(),
+                   r.memory_energy_j * ps_to_seconds(r.total_mem_access_time));
+  EXPECT_DOUBLE_EQ(r.system_edp(),
+                   r.system_energy_j() * ps_to_seconds(r.exec_time));
+  EXPECT_GT(r.system_throughput(), 0.0);
+}
+
+TEST(System, HbmChannelsOutnumberDdr3) {
+  const Experiment e = small_experiment(100'000);
+  const std::map<std::string, core::ClassifiedApp> empty_db;
+  const RunResult hbm =
+      run_single("lbm", SystemChoice::kHomogenHbm, empty_db, e);
+  EXPECT_EQ(hbm.modules.size(), 1u);
+  EXPECT_EQ(hbm.memsys_name, "Homogen-HBM");
+}
+
+TEST(Runner, BuildProfileDbCoversRequestedApps) {
+  const Experiment e = small_experiment(100'000);
+  const auto db = build_profile_db({"gcc", "sift", "gcc"}, e);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.contains("gcc"));
+  EXPECT_TRUE(db.contains("sift"));
+}
+
+TEST(Runner, SystemChoiceNamesAndConfigs) {
+  const Experiment e = small_experiment();
+  EXPECT_EQ(to_string(SystemChoice::kMoca), "MOCA");
+  EXPECT_EQ(memsys_for(SystemChoice::kHomogenLpddr2, e).name, "Homogen-LP");
+  EXPECT_EQ(memsys_for(SystemChoice::kMoca, e).modules.size(), 4u);
+  Experiment e3 = e;
+  e3.hetero_config = 3;
+  EXPECT_EQ(memsys_for(SystemChoice::kMoca, e3).modules.size(), 3u);
+  EXPECT_EQ(all_system_choices().size(), 6u);
+}
+
+TEST(Config, CapacitiesMatchScaledPaperValues) {
+  const MemSystemConfig c1 = heterogeneous(1);
+  EXPECT_EQ(c1.modules[0].capacity_bytes, 256 * MiB / kCapacityScale);
+  EXPECT_EQ(c1.modules[1].capacity_bytes, 768 * MiB / kCapacityScale);
+  EXPECT_EQ(c1.total_capacity(), 2048 * MiB / kCapacityScale);
+  EXPECT_EQ(heterogeneous(2).total_capacity(), 2048 * MiB / kCapacityScale);
+  EXPECT_EQ(heterogeneous(3).total_capacity(), 2048 * MiB / kCapacityScale);
+  EXPECT_EQ(homogeneous(dram::MemKind::kDdr3).total_capacity(),
+            2048 * MiB / kCapacityScale);
+  EXPECT_THROW(heterogeneous(7), CheckError);
+}
+
+TEST(System, MultiProgramSharedMemoryContention) {
+  // Four latency apps under MOCA: RLDRAM must saturate and fall back.
+  Experiment e = small_experiment(250'000);
+  const workload::WorkloadSet set = workload::standard_sets()[0];  // 4L
+  const auto db = build_profile_db(set.apps, e);
+  const RunResult r = run_workload(set.apps, SystemChoice::kMoca, db, e);
+  EXPECT_EQ(r.cores.size(), 4u);
+  const std::uint64_t rl_frames = r.modules[0].capacity_bytes / kPageBytes;
+  EXPECT_GE(r.os_stats.frames_per_module[0], rl_frames * 9 / 10);
+  EXPECT_GT(r.os_stats.fallback_allocations, 0u);
+}
+
+}  // namespace
+}  // namespace moca::sim

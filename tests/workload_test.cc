@@ -1,0 +1,240 @@
+// Workload generator tests: suite well-formedness, stream determinism,
+// address bounds, dependency structure, naming inputs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "moca/allocator.h"
+#include "moca/object_registry.h"
+#include "os/address_space.h"
+#include "workload/app_stream.h"
+#include "workload/suite.h"
+
+namespace moca::workload {
+namespace {
+
+TEST(Suite, HasTenAppsWithTableThreeClasses) {
+  const std::vector<AppSpec> suite = standard_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  int l = 0, b = 0, n = 0;
+  for (const AppSpec& app : suite) {
+    switch (app.expected_class) {
+      case os::MemClass::kLatency:
+        ++l;
+        break;
+      case os::MemClass::kBandwidth:
+        ++b;
+        break;
+      case os::MemClass::kNonIntensive:
+        ++n;
+        break;
+    }
+  }
+  EXPECT_EQ(l, 4);  // mcf, milc, libquantum, disparity
+  EXPECT_EQ(b, 3);  // mser, lbm, tracking
+  EXPECT_EQ(n, 3);  // gcc, sift, stitch
+}
+
+TEST(Suite, AppNamesUniqueAndLookupWorks) {
+  std::set<std::string> names;
+  for (const AppSpec& app : standard_suite()) {
+    EXPECT_TRUE(names.insert(app.name).second);
+    EXPECT_EQ(app_by_name(app.name).name, app.name);
+  }
+  EXPECT_THROW((void)app_by_name("nonexistent"), CheckError);
+}
+
+TEST(Suite, SpecsAreWellFormed) {
+  for (const AppSpec& app : standard_suite()) {
+    EXPECT_GT(app.mem_fraction, 0.0);
+    EXPECT_LT(app.mem_fraction, 1.0);
+    EXPECT_FALSE(app.objects.empty());
+    EXPECT_GT(app.heap_footprint(), 0u);
+    for (const ObjectSpec& o : app.objects) {
+      EXPECT_GT(o.bytes, 0u) << app.name << "/" << o.label;
+      EXPECT_GT(o.weight, 0.0);
+      EXPECT_GE(o.hot_fraction, 0.0);
+      EXPECT_LE(o.hot_fraction, 1.0);
+      EXPECT_FALSE(o.alloc_stack.empty());
+      EXPECT_GE(o.stride, 8u);
+    }
+  }
+}
+
+TEST(Suite, ObjectNamesUniqueAcrossWholeSuite) {
+  std::set<core::ObjectName> names;
+  for (const AppSpec& app : standard_suite()) {
+    for (const ObjectSpec& o : app.objects) {
+      EXPECT_TRUE(names.insert(core::name_object(o.alloc_stack)).second)
+          << app.name << "/" << o.label;
+    }
+  }
+}
+
+TEST(Suite, FootprintsFitScaledMachine) {
+  // Any 4-app workload set must fit the 512MB (scaled) machine with slack
+  // for stack/code pages.
+  for (const WorkloadSet& set : standard_sets()) {
+    std::uint64_t total = 0;
+    for (const std::string& name : set.apps) {
+      total += app_by_name(name).heap_footprint();
+    }
+    // 512 MiB of scaled physical memory minus stack/code/page slack.
+    EXPECT_LT(total, 500 * MiB) << set.name;
+  }
+}
+
+TEST(Suite, WorkloadSetsNameTheirComposition) {
+  for (const WorkloadSet& set : standard_sets()) {
+    ASSERT_EQ(set.apps.size(), 4u) << set.name;
+    int l = 0, b = 0, n = 0;
+    for (const std::string& name : set.apps) {
+      switch (app_by_name(name).expected_class) {
+        case os::MemClass::kLatency:
+          ++l;
+          break;
+        case os::MemClass::kBandwidth:
+          ++b;
+          break;
+        case os::MemClass::kNonIntensive:
+          ++n;
+          break;
+      }
+    }
+    std::string expect;
+    if (l) expect += std::to_string(l) + "L";
+    if (b) expect += std::to_string(b) + "B";
+    if (n) expect += std::to_string(n) + "N";
+    EXPECT_EQ(set.name, expect);
+  }
+  EXPECT_EQ(config_sweep_sets().size(), 5u);
+}
+
+struct StreamFixture {
+  os::AddressSpace space{0};
+  core::ObjectRegistry registry;
+  core::MocaAllocator allocator{space, registry, nullptr};
+
+  AppStream make(const std::string& app, std::uint64_t seed,
+                 double scale = 1.0) {
+    return AppStream(app_by_name(app), scale, seed, allocator, space);
+  }
+};
+
+TEST(AppStream, DeterministicForEqualSeeds) {
+  StreamFixture fa, fb;
+  AppStream a = fa.make("mcf", 42);
+  AppStream b = fb.make("mcf", 42);
+  for (int i = 0; i < 20'000; ++i) {
+    const cpu::MicroOp x = a.next();
+    const cpu::MicroOp y = b.next();
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.vaddr, y.vaddr);
+    EXPECT_EQ(x.dep1, y.dep1);
+  }
+}
+
+TEST(AppStream, DifferentSeedsDiffer) {
+  StreamFixture fa, fb;
+  AppStream a = fa.make("mcf", 1);
+  AppStream b = fb.make("mcf", 2);
+  int differing = 0;
+  for (int i = 0; i < 1000; ++i) {
+    differing += (a.next().vaddr != b.next().vaddr);
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(AppStream, MemoryOpsStayInsideTheirObjects) {
+  StreamFixture f;
+  AppStream s = f.make("milc", 7);
+  for (int i = 0; i < 50'000; ++i) {
+    const cpu::MicroOp op = s.next();
+    if (op.kind == cpu::OpKind::kAlu) continue;
+    if (op.object == cache::kNoObject) {
+      const os::Segment seg = os::segment_of(op.vaddr);
+      EXPECT_TRUE(seg == os::Segment::kStack || seg == os::Segment::kCode);
+      continue;
+    }
+    const core::ObjectInstance* inst = f.registry.find(0, op.vaddr);
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->id, op.object);
+  }
+}
+
+TEST(AppStream, MemFractionRoughlyHolds) {
+  StreamFixture f;
+  AppStream s = f.make("lbm", 3);
+  int mem = 0;
+  constexpr int kOps = 100'000;
+  for (int i = 0; i < kOps; ++i) {
+    if (s.next().kind != cpu::OpKind::kAlu) ++mem;
+  }
+  EXPECT_NEAR(static_cast<double>(mem) / kOps,
+              app_by_name("lbm").mem_fraction, 0.01);
+}
+
+TEST(AppStream, ChaseLoadsCarryDependencies) {
+  StreamFixture f;
+  AppStream s = f.make("libquantum", 5);  // dominant chase object: qreg
+  std::uint64_t chase_id = cache::kNoObject;
+  for (const std::uint64_t id : s.object_ids()) {
+    if (f.registry.instance(id).label == "qreg") chase_id = id;
+  }
+  ASSERT_NE(chase_id, cache::kNoObject);
+  std::set<std::uint64_t> chase_load_indices;
+  int chase_loads = 0, with_dep = 0;
+  for (std::uint64_t idx = 0; idx < 200'000; ++idx) {
+    const cpu::MicroOp op = s.next();
+    if (op.kind == cpu::OpKind::kLoad && op.object == chase_id) {
+      ++chase_loads;
+      if (op.dep1 != 0) {
+        ++with_dep;
+        // The dependency must point at an earlier load of the same object.
+        EXPECT_TRUE(chase_load_indices.contains(idx - op.dep1));
+      }
+      chase_load_indices.insert(idx);
+    }
+  }
+  EXPECT_GT(chase_loads, 1000);
+  // qreg is 80% hot-redirected: chain loads are the non-hot 20%, and most
+  // of them should land within the dependency window.
+  EXPECT_GT(with_dep, chase_loads / 10);
+}
+
+TEST(AppStream, ScaleShrinksFootprintButKeepsNames) {
+  StreamFixture big, small;
+  AppStream a = big.make("mcf", 9, 1.0);
+  AppStream b = small.make("mcf", 9, 0.5);
+  ASSERT_EQ(big.registry.size(), small.registry.size());
+  for (std::size_t i = 0; i < big.registry.size(); ++i) {
+    EXPECT_EQ(big.registry.instance(i).name, small.registry.instance(i).name);
+    EXPECT_GE(big.registry.instance(i).bytes,
+              small.registry.instance(i).bytes);
+  }
+}
+
+TEST(AppStream, TrainingAndReferenceShareObjectNames) {
+  // The whole MOCA premise: profiling on the training input must name the
+  // same objects the reference input allocates.
+  StreamFixture train, ref;
+  AppStream t = train.make("disparity", 111, 0.6);
+  AppStream r = ref.make("disparity", 999, 1.0);
+  ASSERT_EQ(train.registry.size(), ref.registry.size());
+  for (std::size_t i = 0; i < train.registry.size(); ++i) {
+    EXPECT_EQ(train.registry.instance(i).name,
+              ref.registry.instance(i).name);
+  }
+}
+
+TEST(MakeAllocStack, DepthAndDeterminism) {
+  const auto s1 = make_alloc_stack(3, 2, 4);
+  const auto s2 = make_alloc_stack(3, 2, 4);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 4u);
+  EXPECT_NE(make_alloc_stack(3, 2, 4), make_alloc_stack(3, 3, 4));
+  EXPECT_NE(make_alloc_stack(3, 2, 4), make_alloc_stack(4, 2, 4));
+}
+
+}  // namespace
+}  // namespace moca::workload

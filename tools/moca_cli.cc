@@ -1,0 +1,373 @@
+// moca_cli — command-line driver for the MOCA simulator.
+//
+//   moca_cli list
+//   moca_cli profile <app> [--instr N] [--out profile.txt]
+//   moca_cli run <app>... [--system S] [--config 1|2|3] [--instr N]
+//   moca_cli compare <app>... [--instr N] [--config 1|2|3]
+//   moca_cli record <app> --out trace.trc [--ops N] [--classify]
+//   moca_cli replay <trace.trc> [--system S] [--config 1|2|3] [--instr N]
+//
+// Systems: ddr3, lp, rl, hbm, heter-app, moca, migration.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "trace/record.h"
+#include "trace/replay.h"
+#include "workload/parse.h"
+#include "workload/suite.h"
+
+namespace {
+
+using namespace moca;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  bool has(const std::string& f) const { return flags.contains(f); }
+  std::string get(const std::string& f, std::string fallback = "") const {
+    const auto it = flags.find(f);
+    return it == flags.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& f, std::uint64_t fallback) const {
+    const auto it = flags.find(f);
+    return it == flags.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      // --classify is a bare flag; the others take a value.
+      if (name == "classify" || name == "json") {
+        args.flags[name] = "1";
+      } else {
+        MOCA_CHECK_MSG(i + 1 < argc, "flag --" << name << " needs a value");
+        args.flags[name] = argv[++i];
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+sim::Experiment experiment_from(const Args& args) {
+  sim::Experiment e = sim::Experiment::from_env();
+  e.instructions = args.get_u64("instr", e.instructions);
+  e.hetero_config =
+      static_cast<int>(args.get_u64("config", e.hetero_config));
+  return e;
+}
+
+std::optional<sim::SystemChoice> parse_system(const std::string& name) {
+  if (name == "ddr3") return sim::SystemChoice::kHomogenDdr3;
+  if (name == "lp") return sim::SystemChoice::kHomogenLpddr2;
+  if (name == "rl") return sim::SystemChoice::kHomogenRldram;
+  if (name == "hbm") return sim::SystemChoice::kHomogenHbm;
+  if (name == "heter-app") return sim::SystemChoice::kHeterApp;
+  if (name == "moca") return sim::SystemChoice::kMoca;
+  return std::nullopt;
+}
+
+void print_run(const sim::RunResult& r) {
+  std::cout << "system: " << r.memsys_name << " / " << r.policy_name << "\n"
+            << "exec time:        " << format_fixed(r.exec_time * 1e-6, 1)
+            << " us\n"
+            << "mem access time:  "
+            << format_fixed(static_cast<double>(r.total_mem_access_time) *
+                                1e-6,
+                            1)
+            << " us\n"
+            << "memory energy:    " << format_fixed(r.memory_energy_j * 1e3, 4)
+            << " mJ\n"
+            << "memory EDP:       " << format_fixed(r.memory_edp() * 1e9, 4)
+            << " nJ*s\n"
+            << "system EDP:       " << format_fixed(r.system_edp() * 1e9, 4)
+            << " nJ*s\n";
+  Table cores({"app", "IPC", "LLC misses", "TLB misses"});
+  for (const sim::CoreResult& c : r.cores) {
+    cores.row()
+        .cell(c.app_name)
+        .cell(c.core.ipc(), 2)
+        .cell(c.hierarchy.llc_misses)
+        .cell(c.core.tlb_misses);
+  }
+  cores.print(std::cout);
+  Table modules({"module", "frames", "accesses", "avg lat (ns)"});
+  for (const sim::ModuleResult& m : r.modules) {
+    const double acc = static_cast<double>(m.stats.accesses());
+    modules.row()
+        .cell(m.name)
+        .cell(m.frames_used)
+        .cell(m.stats.accesses())
+        .cell(acc > 0 ? static_cast<double>(m.stats.total_access_time_ps()) /
+                            acc / 1000.0
+                      : 0.0,
+              1);
+  }
+  modules.print(std::cout);
+  if (r.migration.epochs > 0) {
+    std::cout << "migration: " << r.migration.promotions << " promotions, "
+              << r.migration.demotions << " demotions over "
+              << r.migration.epochs << " epochs\n";
+  }
+}
+
+int cmd_list() {
+  std::cout << "applications (suite of paper Table III):\n";
+  Table t({"name", "class", "objects", "heap footprint (MiB)"});
+  for (const workload::AppSpec& app : workload::standard_suite()) {
+    t.row()
+        .cell(app.name)
+        .cell(std::string(1, os::class_letter(app.expected_class)))
+        .cell(static_cast<std::uint64_t>(app.objects.size()))
+        .cell(static_cast<double>(app.heap_footprint()) / (1024.0 * 1024.0),
+              0);
+  }
+  t.print(std::cout);
+  std::cout << "\nsystems: ddr3 lp rl hbm heter-app moca migration\n"
+            << "workload sets:";
+  for (const workload::WorkloadSet& s : workload::standard_sets()) {
+    std::cout << ' ' << s.name;
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  MOCA_CHECK_MSG(args.positional.size() == 1, "profile needs one app");
+  const sim::Experiment e = experiment_from(args);
+  const core::AppProfile profile =
+      sim::profile_app(workload::app_by_name(args.positional[0]), e);
+  const core::ClassifiedApp classes = sim::classify_for_runtime(profile, e);
+
+  std::cout << "app " << profile.app_name << ": MPKI "
+            << format_fixed(profile.app_mpki(), 2) << ", stall/miss "
+            << format_fixed(profile.app_stall_per_miss(), 1) << ", class "
+            << os::class_letter(classes.app_class) << "\n";
+  Table t({"object", "size(MiB)", "MPKI", "stall/miss", "class"});
+  for (const auto& [name, obj] : profile.objects) {
+    t.row()
+        .cell(obj.label)
+        .cell(static_cast<double>(obj.bytes) / (1024.0 * 1024.0), 1)
+        .cell(obj.mpki(profile.instructions), 2)
+        .cell(obj.stall_per_miss(), 1)
+        .cell(std::string(1, os::class_letter(classes.class_of(name))));
+  }
+  t.print(std::cout);
+
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    MOCA_CHECK_MSG(out.good(), "cannot write " << args.get("out"));
+    out << profile.serialize();
+    std::cout << "profile written to " << args.get("out") << '\n';
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  MOCA_CHECK_MSG(!args.positional.empty(), "run needs at least one app");
+  const sim::Experiment e = experiment_from(args);
+  const std::string system = args.get("system", "moca");
+  const auto report = [&](const sim::RunResult& r) {
+    if (args.has("json")) {
+      std::cout << sim::to_json(r) << '\n';
+    } else {
+      print_run(r);
+    }
+  };
+  if (system == "migration") {
+    os::MigrationConfig migration;
+    report(sim::run_workload_with_migration(args.positional, e, migration));
+    return 0;
+  }
+  const auto choice = parse_system(system);
+  MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << system);
+  const auto db = sim::build_profile_db(args.positional, e);
+  report(sim::run_workload(args.positional, *choice, db, e));
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  MOCA_CHECK_MSG(!args.positional.empty(), "compare needs apps");
+  const sim::Experiment e = experiment_from(args);
+  const auto db = sim::build_profile_db(args.positional, e);
+  Table t({"system", "mem time (norm)", "mem EDP (norm)",
+           "system EDP (norm)"});
+  double bt = 0, be = 0, bs = 0;
+  for (const sim::SystemChoice choice : sim::all_system_choices()) {
+    const sim::RunResult r = sim::run_workload(args.positional, choice, db,
+                                               e);
+    if (choice == sim::SystemChoice::kHomogenDdr3) {
+      bt = static_cast<double>(r.total_mem_access_time);
+      be = r.memory_edp();
+      bs = r.system_edp();
+    }
+    t.row()
+        .cell(sim::to_string(choice))
+        .cell(static_cast<double>(r.total_mem_access_time) / bt, 3)
+        .cell(r.memory_edp() / be, 3)
+        .cell(r.system_edp() / bs, 3);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_record(const Args& args) {
+  MOCA_CHECK_MSG(args.positional.size() == 1, "record needs one app");
+  MOCA_CHECK_MSG(args.has("out"), "record needs --out FILE");
+  const workload::AppSpec app = workload::app_by_name(args.positional[0]);
+  trace::RecordOptions options;
+  options.ops = args.get_u64("ops", 1'000'000);
+  options.seed = args.get_u64("seed", 1);
+
+  core::ClassifiedApp classes;
+  if (args.has("classify")) {
+    const sim::Experiment e = experiment_from(args);
+    classes = sim::classify_for_runtime(sim::profile_app(app, e), e);
+    options.classes = &classes;
+  }
+  const std::uint64_t n =
+      trace::record_app_trace(app, args.get("out"), options);
+  std::cout << "wrote " << n << " records to " << args.get("out")
+            << (args.has("classify") ? " (typed heap partitions)" : "")
+            << '\n';
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  MOCA_CHECK_MSG(args.positional.size() == 1, "replay needs one trace file");
+  const sim::Experiment e = experiment_from(args);
+  const std::string system = args.get("system", "moca");
+  const auto choice = parse_system(system);
+  MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << system);
+
+  trace::ReplayOptions options;
+  options.instructions = args.get_u64("instr", 0);
+  const trace::ReplayResult r =
+      trace::replay_trace(args.positional[0], sim::memsys_for(*choice, e),
+                          sim::make_policy(*choice), options);
+  std::cout << "replayed " << r.instructions << " ops in " << r.cycles
+            << " cycles (IPC " << format_fixed(r.ipc, 2) << ")\n"
+            << "LLC misses:      " << r.llc_misses << '\n'
+            << "mem access time: "
+            << format_fixed(static_cast<double>(r.total_mem_access_time) *
+                                1e-6,
+                            1)
+            << " us\n"
+            << "memory energy:   " << format_fixed(r.memory_energy_j * 1e3, 4)
+            << " mJ\n";
+  return 0;
+}
+
+workload::AppSpec app_from_file(const std::string& path) {
+  std::ifstream in(path);
+  MOCA_CHECK_MSG(in.good(), "cannot open spec file: " << path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return workload::parse_app_spec(buffer.str());
+}
+
+int cmd_profile_file(const Args& args) {
+  MOCA_CHECK_MSG(args.positional.size() == 1, "profile-file needs one file");
+  const sim::Experiment e = experiment_from(args);
+  const workload::AppSpec app = app_from_file(args.positional[0]);
+  const core::AppProfile profile = sim::profile_app(app, e);
+  const core::ClassifiedApp classes = sim::classify_for_runtime(profile, e);
+  std::cout << "app " << profile.app_name << ": MPKI "
+            << format_fixed(profile.app_mpki(), 2) << ", class "
+            << os::class_letter(classes.app_class) << "\n";
+  Table t({"object", "MPKI", "stall/miss", "class"});
+  for (const auto& [name, obj] : profile.objects) {
+    t.row()
+        .cell(obj.label)
+        .cell(obj.mpki(profile.instructions), 2)
+        .cell(obj.stall_per_miss(), 1)
+        .cell(std::string(1, os::class_letter(classes.class_of(name))));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run_file(const Args& args) {
+  MOCA_CHECK_MSG(args.positional.size() == 1, "run-file needs one file");
+  const sim::Experiment e = experiment_from(args);
+  const workload::AppSpec app = app_from_file(args.positional[0]);
+  const std::string system = args.get("system", "moca");
+  const auto choice = parse_system(system);
+  MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << system);
+
+  sim::SystemOptions options;
+  options.instructions_per_core = e.instructions;
+  options.warmup_instructions = e.effective_warmup();
+  sim::AppInstance inst;
+  inst.spec = app;
+  inst.seed = e.ref_seed;
+  if (*choice == sim::SystemChoice::kMoca ||
+      *choice == sim::SystemChoice::kHeterApp) {
+    inst.classes = sim::classify_for_runtime(sim::profile_app(app, e), e);
+  }
+  std::vector<sim::AppInstance> instances;
+  instances.push_back(std::move(inst));
+  sim::System system_obj(sim::memsys_for(*choice, e),
+                         sim::make_policy(*choice), std::move(instances),
+                         options);
+  const sim::RunResult r = system_obj.run();
+  if (args.has("json")) {
+    std::cout << sim::to_json(r) << '\n';
+  } else {
+    print_run(r);
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout
+      << "usage: moca_cli <command> [...]\n"
+         "  list                                  suite and systems\n"
+         "  profile <app> [--instr N] [--out F]   offline profiling\n"
+         "  run <app>... [--system S] [--config C] [--instr N]\n"
+         "  compare <app>... [--instr N]          all six systems\n"
+         "  record <app> --out F [--ops N] [--classify]\n"
+         "  profile-file <spec.app> [--instr N]      custom workload file\n"
+         "  run-file <spec.app> [--system S] [--json]\n"
+         "  replay <F> [--system S] [--instr N]\n"
+         "systems: ddr3 lp rl hbm heter-app moca migration\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "profile") return cmd_profile(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "record") return cmd_record(args);
+    if (command == "profile-file") return cmd_profile_file(args);
+    if (command == "run-file") return cmd_run_file(args);
+    if (command == "replay") return cmd_replay(args);
+  } catch (const moca::CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
