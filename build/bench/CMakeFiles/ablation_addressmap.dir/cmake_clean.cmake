@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_addressmap.dir/ablation_addressmap.cc.o"
+  "CMakeFiles/ablation_addressmap.dir/ablation_addressmap.cc.o.d"
+  "ablation_addressmap"
+  "ablation_addressmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addressmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

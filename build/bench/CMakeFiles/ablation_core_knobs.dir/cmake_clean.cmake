@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_core_knobs.dir/ablation_core_knobs.cc.o"
+  "CMakeFiles/ablation_core_knobs.dir/ablation_core_knobs.cc.o.d"
+  "ablation_core_knobs"
+  "ablation_core_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_core_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_transfer.dir/ablation_profile_transfer.cc.o"
+  "CMakeFiles/ablation_profile_transfer.dir/ablation_profile_transfer.cc.o.d"
+  "ablation_profile_transfer"
+  "ablation_profile_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

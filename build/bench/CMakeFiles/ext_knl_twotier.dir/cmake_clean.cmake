@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_knl_twotier.dir/ext_knl_twotier.cc.o"
+  "CMakeFiles/ext_knl_twotier.dir/ext_knl_twotier.cc.o.d"
+  "ext_knl_twotier"
+  "ext_knl_twotier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_knl_twotier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

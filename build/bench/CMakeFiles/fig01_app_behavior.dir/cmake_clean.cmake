@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_app_behavior.dir/fig01_app_behavior.cc.o"
+  "CMakeFiles/fig01_app_behavior.dir/fig01_app_behavior.cc.o.d"
+  "fig01_app_behavior"
+  "fig01_app_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_app_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_object_behavior.dir/fig02_object_behavior.cc.o"
+  "CMakeFiles/fig02_object_behavior.dir/fig02_object_behavior.cc.o.d"
+  "fig02_object_behavior"
+  "fig02_object_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_object_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_singlecore.dir/fig08_09_singlecore.cc.o"
+  "CMakeFiles/fig08_09_singlecore.dir/fig08_09_singlecore.cc.o.d"
+  "fig08_09_singlecore"
+  "fig08_09_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

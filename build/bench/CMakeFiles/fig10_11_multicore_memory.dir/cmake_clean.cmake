@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_multicore_memory.dir/fig10_11_multicore_memory.cc.o"
+  "CMakeFiles/fig10_11_multicore_memory.dir/fig10_11_multicore_memory.cc.o.d"
+  "fig10_11_multicore_memory"
+  "fig10_11_multicore_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_multicore_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_stack_code.dir/fig16_stack_code.cc.o"
+  "CMakeFiles/fig16_stack_code.dir/fig16_stack_code.cc.o.d"
+  "fig16_stack_code"
+  "fig16_stack_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stack_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_classification.dir/tab03_classification.cc.o"
+  "CMakeFiles/tab03_classification.dir/tab03_classification.cc.o.d"
+  "tab03_classification"
+  "tab03_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

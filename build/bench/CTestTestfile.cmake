@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[bench_smoke_tab03_classification]=] "/root/repo/build/bench/tab03_classification")
+set_tests_properties([=[bench_smoke_tab03_classification]=] PROPERTIES  ENVIRONMENT "MOCA_SIM_INSTR=250000" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;43;moca_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_smoke_fig02_object_behavior]=] "/root/repo/build/bench/fig02_object_behavior")
+set_tests_properties([=[bench_smoke_fig02_object_behavior]=] PROPERTIES  ENVIRONMENT "MOCA_SIM_INSTR=200000" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;44;moca_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_smoke_fig16_stack_code]=] "/root/repo/build/bench/fig16_stack_code")
+set_tests_properties([=[bench_smoke_fig16_stack_code]=] PROPERTIES  ENVIRONMENT "MOCA_SIM_INSTR=200000" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;45;moca_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_smoke_ablation_profile_transfer]=] "/root/repo/build/bench/ablation_profile_transfer")
+set_tests_properties([=[bench_smoke_ablation_profile_transfer]=] PROPERTIES  ENVIRONMENT "MOCA_SIM_INSTR=150000" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;46;moca_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_explorer.dir/colocation_explorer.cpp.o"
+  "CMakeFiles/colocation_explorer.dir/colocation_explorer.cpp.o.d"
+  "colocation_explorer"
+  "colocation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

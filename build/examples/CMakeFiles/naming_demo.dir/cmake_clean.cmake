@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_demo.dir/naming_demo.cpp.o"
+  "CMakeFiles/naming_demo.dir/naming_demo.cpp.o.d"
+  "naming_demo"
+  "naming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_custom_app.dir/profile_custom_app.cpp.o"
+  "CMakeFiles/profile_custom_app.dir/profile_custom_app.cpp.o.d"
+  "profile_custom_app"
+  "profile_custom_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_custom_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/moca_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/moca_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/moca_cache.dir/cache/hierarchy.cc.o.d"
+  "libmoca_cache.a"
+  "libmoca_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

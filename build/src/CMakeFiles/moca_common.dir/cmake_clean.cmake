@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_common.dir/common/table.cc.o"
+  "CMakeFiles/moca_common.dir/common/table.cc.o.d"
+  "libmoca_common.a"
+  "libmoca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

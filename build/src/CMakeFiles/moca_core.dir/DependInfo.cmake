@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moca/allocator.cc" "src/CMakeFiles/moca_core.dir/moca/allocator.cc.o" "gcc" "src/CMakeFiles/moca_core.dir/moca/allocator.cc.o.d"
+  "/root/repo/src/moca/classifier.cc" "src/CMakeFiles/moca_core.dir/moca/classifier.cc.o" "gcc" "src/CMakeFiles/moca_core.dir/moca/classifier.cc.o.d"
+  "/root/repo/src/moca/object_registry.cc" "src/CMakeFiles/moca_core.dir/moca/object_registry.cc.o" "gcc" "src/CMakeFiles/moca_core.dir/moca/object_registry.cc.o.d"
+  "/root/repo/src/moca/profile.cc" "src/CMakeFiles/moca_core.dir/moca/profile.cc.o" "gcc" "src/CMakeFiles/moca_core.dir/moca/profile.cc.o.d"
+  "/root/repo/src/moca/profiler.cc" "src/CMakeFiles/moca_core.dir/moca/profiler.cc.o" "gcc" "src/CMakeFiles/moca_core.dir/moca/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moca_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

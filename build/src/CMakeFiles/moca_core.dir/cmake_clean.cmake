@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_core.dir/moca/allocator.cc.o"
+  "CMakeFiles/moca_core.dir/moca/allocator.cc.o.d"
+  "CMakeFiles/moca_core.dir/moca/classifier.cc.o"
+  "CMakeFiles/moca_core.dir/moca/classifier.cc.o.d"
+  "CMakeFiles/moca_core.dir/moca/object_registry.cc.o"
+  "CMakeFiles/moca_core.dir/moca/object_registry.cc.o.d"
+  "CMakeFiles/moca_core.dir/moca/profile.cc.o"
+  "CMakeFiles/moca_core.dir/moca/profile.cc.o.d"
+  "CMakeFiles/moca_core.dir/moca/profiler.cc.o"
+  "CMakeFiles/moca_core.dir/moca/profiler.cc.o.d"
+  "libmoca_core.a"
+  "libmoca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/moca_cpu.dir/cpu/core.cc.o.d"
+  "libmoca_cpu.a"
+  "libmoca_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

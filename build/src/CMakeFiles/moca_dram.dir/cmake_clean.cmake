@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_dram.dir/dram/controller.cc.o"
+  "CMakeFiles/moca_dram.dir/dram/controller.cc.o.d"
+  "CMakeFiles/moca_dram.dir/dram/module.cc.o"
+  "CMakeFiles/moca_dram.dir/dram/module.cc.o.d"
+  "CMakeFiles/moca_dram.dir/dram/presets.cc.o"
+  "CMakeFiles/moca_dram.dir/dram/presets.cc.o.d"
+  "libmoca_dram.a"
+  "libmoca_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cc" "src/CMakeFiles/moca_os.dir/os/address_space.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/address_space.cc.o.d"
+  "/root/repo/src/os/migration.cc" "src/CMakeFiles/moca_os.dir/os/migration.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/migration.cc.o.d"
+  "/root/repo/src/os/os.cc" "src/CMakeFiles/moca_os.dir/os/os.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/os.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/CMakeFiles/moca_os.dir/os/page_table.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/page_table.cc.o.d"
+  "/root/repo/src/os/physical_memory.cc" "src/CMakeFiles/moca_os.dir/os/physical_memory.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/physical_memory.cc.o.d"
+  "/root/repo/src/os/policy.cc" "src/CMakeFiles/moca_os.dir/os/policy.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/policy.cc.o.d"
+  "/root/repo/src/os/types.cc" "src/CMakeFiles/moca_os.dir/os/types.cc.o" "gcc" "src/CMakeFiles/moca_os.dir/os/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moca_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

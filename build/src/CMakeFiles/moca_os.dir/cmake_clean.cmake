@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_os.dir/os/address_space.cc.o"
+  "CMakeFiles/moca_os.dir/os/address_space.cc.o.d"
+  "CMakeFiles/moca_os.dir/os/migration.cc.o"
+  "CMakeFiles/moca_os.dir/os/migration.cc.o.d"
+  "CMakeFiles/moca_os.dir/os/os.cc.o"
+  "CMakeFiles/moca_os.dir/os/os.cc.o.d"
+  "CMakeFiles/moca_os.dir/os/page_table.cc.o"
+  "CMakeFiles/moca_os.dir/os/page_table.cc.o.d"
+  "CMakeFiles/moca_os.dir/os/physical_memory.cc.o"
+  "CMakeFiles/moca_os.dir/os/physical_memory.cc.o.d"
+  "CMakeFiles/moca_os.dir/os/policy.cc.o"
+  "CMakeFiles/moca_os.dir/os/policy.cc.o.d"
+  "CMakeFiles/moca_os.dir/os/types.cc.o"
+  "CMakeFiles/moca_os.dir/os/types.cc.o.d"
+  "libmoca_os.a"
+  "libmoca_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

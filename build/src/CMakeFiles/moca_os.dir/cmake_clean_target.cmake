@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmoca_os.a"
+)

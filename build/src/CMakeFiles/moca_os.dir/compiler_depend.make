@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for moca_os.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_power.dir/power/dram_power.cc.o"
+  "CMakeFiles/moca_power.dir/power/dram_power.cc.o.d"
+  "libmoca_power.a"
+  "libmoca_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/moca_sim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/moca_sim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/moca_sim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/moca_sim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/moca_sim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/moca_sim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/moca_sim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/moca_sim.dir/sim/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

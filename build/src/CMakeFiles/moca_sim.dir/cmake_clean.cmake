@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_sim.dir/sim/config.cc.o"
+  "CMakeFiles/moca_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/moca_sim.dir/sim/report.cc.o"
+  "CMakeFiles/moca_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/moca_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/moca_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/moca_sim.dir/sim/system.cc.o"
+  "CMakeFiles/moca_sim.dir/sim/system.cc.o.d"
+  "libmoca_sim.a"
+  "libmoca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_trace.dir/trace/record.cc.o"
+  "CMakeFiles/moca_trace.dir/trace/record.cc.o.d"
+  "CMakeFiles/moca_trace.dir/trace/replay.cc.o"
+  "CMakeFiles/moca_trace.dir/trace/replay.cc.o.d"
+  "CMakeFiles/moca_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/moca_trace.dir/trace/trace.cc.o.d"
+  "libmoca_trace.a"
+  "libmoca_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_stream.cc" "src/CMakeFiles/moca_workload.dir/workload/app_stream.cc.o" "gcc" "src/CMakeFiles/moca_workload.dir/workload/app_stream.cc.o.d"
+  "/root/repo/src/workload/parse.cc" "src/CMakeFiles/moca_workload.dir/workload/parse.cc.o" "gcc" "src/CMakeFiles/moca_workload.dir/workload/parse.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/moca_workload.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/moca_workload.dir/workload/spec.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/moca_workload.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/moca_workload.dir/workload/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

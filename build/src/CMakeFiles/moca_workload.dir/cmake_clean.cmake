@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_workload.dir/workload/app_stream.cc.o"
+  "CMakeFiles/moca_workload.dir/workload/app_stream.cc.o.d"
+  "CMakeFiles/moca_workload.dir/workload/parse.cc.o"
+  "CMakeFiles/moca_workload.dir/workload/parse.cc.o.d"
+  "CMakeFiles/moca_workload.dir/workload/spec.cc.o"
+  "CMakeFiles/moca_workload.dir/workload/spec.cc.o.d"
+  "CMakeFiles/moca_workload.dir/workload/suite.cc.o"
+  "CMakeFiles/moca_workload.dir/workload/suite.cc.o.d"
+  "libmoca_workload.a"
+  "libmoca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_knobs_test.dir/core_knobs_test.cc.o"
+  "CMakeFiles/core_knobs_test.dir/core_knobs_test.cc.o.d"
+  "core_knobs_test"
+  "core_knobs_test.pdb"
+  "core_knobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_knobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

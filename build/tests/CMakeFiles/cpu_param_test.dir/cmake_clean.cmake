@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_param_test.dir/cpu_param_test.cc.o"
+  "CMakeFiles/cpu_param_test.dir/cpu_param_test.cc.o.d"
+  "cpu_param_test"
+  "cpu_param_test.pdb"
+  "cpu_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_param_test.dir/dram_param_test.cc.o"
+  "CMakeFiles/dram_param_test.dir/dram_param_test.cc.o.d"
+  "dram_param_test"
+  "dram_param_test.pdb"
+  "dram_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_test.dir/moca_test.cc.o"
+  "CMakeFiles/moca_test.dir/moca_test.cc.o.d"
+  "moca_test"
+  "moca_test.pdb"
+  "moca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

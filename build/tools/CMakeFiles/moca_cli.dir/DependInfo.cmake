@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/moca_cli.cc" "tools/CMakeFiles/moca_cli.dir/moca_cli.cc.o" "gcc" "tools/CMakeFiles/moca_cli.dir/moca_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/moca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

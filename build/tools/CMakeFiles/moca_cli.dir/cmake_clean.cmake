@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moca_cli.dir/moca_cli.cc.o"
+  "CMakeFiles/moca_cli.dir/moca_cli.cc.o.d"
+  "moca_cli"
+  "moca_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moca_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
