@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/table.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "workload/suite.h"
 
 namespace moca::bench {
@@ -31,6 +33,24 @@ struct BenchEnv {
   // cover enough pages to pressure HBM capacity (paper Sec. VI-B).
   env.multi = env.single;
   return env;
+}
+
+/// Worker pool shared by the figure harnesses: size from MOCA_SIM_JOBS or
+/// hardware_concurrency; per-job progress lines on stderr when
+/// MOCA_SWEEP_LOG is set.
+[[nodiscard]] inline sim::SweepRunner sweep_runner() {
+  sim::SweepRunner runner;
+  if (std::getenv("MOCA_SWEEP_LOG") != nullptr) runner.set_log(&std::cerr);
+  return runner;
+}
+
+/// Unwraps a sweep outcome, aborting the harness on a failed job.
+[[nodiscard]] inline const sim::RunResult& sweep_result(
+    const sim::SweepOutcome& outcome) {
+  MOCA_CHECK_MSG(outcome.ok, "sweep job " << outcome.job_id << " ("
+                                          << outcome.label
+                                          << ") failed: " << outcome.error);
+  return outcome.result;
 }
 
 [[nodiscard]] inline double geomean(const std::vector<double>& values) {

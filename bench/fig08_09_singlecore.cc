@@ -10,8 +10,18 @@ int main() {
       "Figures 8 and 9");
   const bench::BenchEnv env = bench::bench_env();
   const std::vector<std::string> apps = bench::all_app_names();
-  const auto db = sim::build_profile_db(apps, env.single);
+  sim::SweepRunner runner = bench::sweep_runner();
+  const auto db = sim::build_profile_db(apps, env.single, runner);
   const std::vector<sim::SystemChoice> systems = sim::all_system_choices();
+
+  // One job per (app, system) cell, row-major in app order so the outcome
+  // for (app i, system j) is outcomes[i * systems.size() + j].
+  std::vector<std::vector<std::string>> workloads;
+  for (const std::string& app : apps) workloads.push_back({app});
+  std::vector<sim::SweepJob> jobs =
+      sim::cross_product(workloads, systems, env.single);
+  for (sim::SweepJob& job : jobs) job.label = job.apps.front();
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
 
   std::vector<std::string> header{"app"};
   for (const sim::SystemChoice c : systems) header.push_back(to_string(c));
@@ -19,12 +29,14 @@ int main() {
   Table edp(header);
   std::map<sim::SystemChoice, std::vector<double>> perf_norm, edp_norm;
 
-  for (const std::string& app : apps) {
+  for (std::size_t a = 0; a < apps.size(); ++a) {
     double base_time = 0.0, base_edp = 0.0;
-    perf.row().cell(app);
-    edp.row().cell(app);
-    for (const sim::SystemChoice choice : systems) {
-      const sim::RunResult r = sim::run_single(app, choice, db, env.single);
+    perf.row().cell(apps[a]);
+    edp.row().cell(apps[a]);
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      const sim::SystemChoice choice = systems[s];
+      const sim::RunResult& r =
+          bench::sweep_result(outcomes[a * systems.size() + s]);
       const double time = static_cast<double>(r.total_mem_access_time);
       const double e = r.memory_edp();
       if (choice == sim::SystemChoice::kHomogenDdr3) {

@@ -9,8 +9,24 @@ int main() {
       "Figures 10 and 11");
   const bench::BenchEnv env = bench::bench_env();
   const std::vector<workload::WorkloadSet> sets = workload::standard_sets();
-  const auto db = sim::build_profile_db(bench::all_app_names(), env.single);
+  sim::SweepRunner runner = bench::sweep_runner();
+  const auto db =
+      sim::build_profile_db(bench::all_app_names(), env.single, runner);
   const std::vector<sim::SystemChoice> systems = sim::all_system_choices();
+
+  // Row-major (set outer, system inner) job list on the worker pool.
+  std::vector<sim::SweepJob> jobs;
+  for (const workload::WorkloadSet& set : sets) {
+    for (const sim::SystemChoice choice : systems) {
+      sim::SweepJob job;
+      job.apps = set.apps;
+      job.choice = choice;
+      job.experiment = env.multi;
+      job.label = set.name;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
 
   std::vector<std::string> header{"workload"};
   for (const sim::SystemChoice c : systems) header.push_back(to_string(c));
@@ -18,13 +34,14 @@ int main() {
   Table edp(header);
   std::map<sim::SystemChoice, std::vector<double>> perf_norm, edp_norm;
 
-  for (const workload::WorkloadSet& set : sets) {
+  for (std::size_t w = 0; w < sets.size(); ++w) {
     double base_time = 0.0, base_edp = 0.0;
-    perf.row().cell(set.name);
-    edp.row().cell(set.name);
-    for (const sim::SystemChoice choice : systems) {
-      const sim::RunResult r =
-          sim::run_workload(set.apps, choice, db, env.multi);
+    perf.row().cell(sets[w].name);
+    edp.row().cell(sets[w].name);
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      const sim::SystemChoice choice = systems[s];
+      const sim::RunResult& r =
+          bench::sweep_result(outcomes[w * systems.size() + s]);
       const double time = static_cast<double>(r.total_mem_access_time);
       const double e = r.memory_edp();
       if (choice == sim::SystemChoice::kHomogenDdr3) {

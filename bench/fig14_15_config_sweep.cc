@@ -12,20 +12,39 @@ int main() {
       "Figures 14 and 15");
   const bench::BenchEnv env = bench::bench_env();
   const auto sets = workload::config_sweep_sets();
-  const auto db = sim::build_profile_db(bench::all_app_names(), env.single);
+  sim::SweepRunner runner = bench::sweep_runner();
+  const auto db =
+      sim::build_profile_db(bench::all_app_names(), env.single, runner);
+
+  // (set, config, {Heter-App, MOCA}) cells, innermost dimension the two
+  // policies, so each pair sits adjacent in the outcome vector.
+  const std::vector<sim::SystemChoice> pair{sim::SystemChoice::kHeterApp,
+                                            sim::SystemChoice::kMoca};
+  std::vector<sim::SweepJob> jobs;
+  for (const workload::WorkloadSet& set : sets) {
+    for (int config = 1; config <= 3; ++config) {
+      for (const sim::SystemChoice choice : pair) {
+        sim::SweepJob job;
+        job.apps = set.apps;
+        job.choice = choice;
+        job.experiment = env.multi;
+        job.experiment.hetero_config = config;
+        job.label = set.name + "/config" + std::to_string(config);
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
 
   Table perf({"workload", "config", "Heter-App", "MOCA",
               "MOCA/Heter time"});
   Table edp({"workload", "config", "Heter-App", "MOCA", "MOCA/Heter EDP"});
 
+  std::size_t next = 0;
   for (const workload::WorkloadSet& set : sets) {
     for (int config = 1; config <= 3; ++config) {
-      sim::Experiment e = env.multi;
-      e.hetero_config = config;
-      const sim::RunResult heter =
-          sim::run_workload(set.apps, sim::SystemChoice::kHeterApp, db, e);
-      const sim::RunResult moca =
-          sim::run_workload(set.apps, sim::SystemChoice::kMoca, db, e);
+      const sim::RunResult& heter = bench::sweep_result(outcomes[next++]);
+      const sim::RunResult& moca = bench::sweep_result(outcomes[next++]);
       const double ht = static_cast<double>(heter.total_mem_access_time);
       const double mt = static_cast<double>(moca.total_mem_access_time);
       const double he = heter.memory_edp();

@@ -1,0 +1,76 @@
+// Minimal thread-safe multi-producer/multi-consumer queue.
+//
+// Used by sim::SweepRunner to feed independent simulation jobs to a fixed
+// worker pool. close() wakes every blocked consumer; pop() then drains the
+// remaining items before reporting exhaustion, so no pushed item is lost.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace moca {
+
+template <typename T>
+class WorkQueue {
+ public:
+  /// Enqueues an item. Pushing after close() is a no-op (the item is
+  /// dropped); producers should finish pushing before closing.
+  void push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Returns nullopt only when no item will ever arrive again.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Signals consumers that no further items will be pushed.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace moca

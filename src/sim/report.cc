@@ -3,9 +3,11 @@
 #include "common/json.h"
 
 namespace moca::sim {
+namespace {
 
-std::string to_json(const RunResult& r) {
-  JsonWriter w;
+/// Emits the RunResult object body into an already-open writer so the same
+/// serialization backs both the standalone report and the per-job wrapper.
+void write_run_result(JsonWriter& w, const RunResult& r) {
   w.begin_object();
   w.key("memory_system").value(r.memsys_name);
   w.key("policy").value(r.policy_name);
@@ -64,6 +66,43 @@ std::string to_json(const RunResult& r) {
     w.end_object();
   }
   w.end_object();
+}
+
+void write_outcome(JsonWriter& w, const SweepOutcome& o) {
+  w.begin_object();
+  w.key("job_id").value(static_cast<std::uint64_t>(o.job_id));
+  if (!o.label.empty()) w.key("label").value(o.label);
+  w.key("ok").value(o.ok);
+  w.key("wall_ms").value(o.wall_ms);
+  w.key("sim_instr_per_sec").value(o.sim_instr_per_sec);
+  if (o.ok) {
+    w.key("result");
+    write_run_result(w, o.result);
+  } else {
+    w.key("error").value(o.error);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& r) {
+  JsonWriter w;
+  write_run_result(w, r);
+  return w.str();
+}
+
+std::string to_json(const SweepOutcome& outcome) {
+  JsonWriter w;
+  write_outcome(w, outcome);
+  return w.str();
+}
+
+std::string to_json(const std::vector<SweepOutcome>& outcomes) {
+  JsonWriter w;
+  w.begin_array();
+  for (const SweepOutcome& o : outcomes) write_outcome(w, o);
+  w.end_array();
   return w.str();
 }
 

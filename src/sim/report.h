@@ -2,7 +2,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "sim/sweep.h"
 #include "sim/system.h"
 
 namespace moca::sim {
@@ -10,5 +12,13 @@ namespace moca::sim {
 /// Serializes a RunResult as a JSON document (per-core, per-module and
 /// aggregate metrics; migration stats when the daemon ran).
 [[nodiscard]] std::string to_json(const RunResult& result);
+
+/// Serializes one sweep job outcome: job id, label, error state and
+/// host-side observability (wall-clock ms, simulated instructions/sec)
+/// wrapping the simulated RunResult.
+[[nodiscard]] std::string to_json(const SweepOutcome& outcome);
+
+/// Serializes a whole sweep in submission order.
+[[nodiscard]] std::string to_json(const std::vector<SweepOutcome>& outcomes);
 
 }  // namespace moca::sim

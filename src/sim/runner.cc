@@ -36,8 +36,11 @@ std::vector<SystemChoice> all_system_choices() {
 Experiment Experiment::from_env() {
   Experiment e;
   if (const char* env = std::getenv("MOCA_SIM_INSTR"); env != nullptr) {
-    const long long value = std::atoll(env);
-    MOCA_CHECK_MSG(value > 0, "MOCA_SIM_INSTR must be positive");
+    char* end = nullptr;
+    const long long value = std::strtoll(env, &end, 10);
+    MOCA_CHECK_MSG(end != env && *end == '\0' && value > 0,
+                   "MOCA_SIM_INSTR must be a positive integer, got '"
+                       << env << "'");
     e.instructions = static_cast<std::uint64_t>(value);
   }
   return e;

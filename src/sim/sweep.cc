@@ -1,0 +1,171 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "common/work_queue.h"
+#include "workload/suite.h"
+
+namespace moca::sim {
+namespace {
+
+/// Walltime helper; monotonic, host-side only.
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+unsigned SweepRunner::resolve_workers(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("MOCA_SIM_JOBS"); env != nullptr) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    MOCA_CHECK_MSG(end != env && *end == '\0' && value > 0,
+                   "MOCA_SIM_JOBS must be a positive integer, got '"
+                       << env << "'");
+    return static_cast<unsigned>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+SweepRunner::SweepRunner(unsigned workers)
+    : workers_(resolve_workers(workers)) {}
+
+void SweepRunner::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const unsigned pool =
+      static_cast<unsigned>(std::min<std::size_t>(workers_, count));
+  if (pool <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  WorkQueue<std::size_t> queue;
+  for (std::size_t i = 0; i < count; ++i) queue.push(i);
+  queue.close();
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    while (auto index = queue.pop()) {
+      try {
+        fn(*index);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (unsigned t = 0; t < pool; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const std::vector<SweepJob>& jobs,
+    const std::map<std::string, core::ClassifiedApp>& db) {
+  std::vector<SweepOutcome> outcomes(jobs.size());
+  std::mutex log_mutex;
+
+  for_each_index(jobs.size(), [&](std::size_t i) {
+    const SweepJob& job = jobs[i];
+    SweepOutcome& out = outcomes[i];
+    out.job_id = i;
+    out.label = job.label;
+    const double start = now_ms();
+    try {
+      // run_workload builds a fresh System/EventQueue and derives every RNG
+      // seed from the job's Experiment — no state shared across jobs.
+      out.result = run_workload(job.apps, job.choice, db, job.experiment);
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+    }
+    out.wall_ms = now_ms() - start;
+    if (out.ok && out.wall_ms > 0.0) {
+      out.sim_instr_per_sec =
+          static_cast<double>(out.result.total_instructions) /
+          (out.wall_ms * 1e-3);
+    }
+    if (log_ != nullptr) {
+      std::ostringstream line;
+      line << "[sweep] job " << i << '/' << jobs.size();
+      if (!job.label.empty()) line << ' ' << job.label;
+      if (job.label != to_string(job.choice)) {
+        line << ' ' << to_string(job.choice);
+      }
+      if (out.ok) {
+        line << ": " << format_fixed(out.wall_ms, 1) << " ms, "
+             << format_fixed(out.sim_instr_per_sec * 1e-6, 2)
+             << "M instr/s\n";
+      } else {
+        line << ": ERROR " << out.error << '\n';
+      }
+      std::lock_guard lock(log_mutex);
+      (*log_) << line.str() << std::flush;
+    }
+  });
+  return outcomes;
+}
+
+std::map<std::string, core::ClassifiedApp> build_profile_db(
+    const std::vector<std::string>& names, const Experiment& experiment,
+    SweepRunner& runner) {
+  // Dedup first so each app is profiled exactly once, like the sequential
+  // build_profile_db.
+  std::vector<std::string> unique;
+  for (const std::string& name : names) {
+    bool seen = false;
+    for (const std::string& u : unique) seen = seen || u == name;
+    if (!seen) unique.push_back(name);
+  }
+
+  std::vector<core::ClassifiedApp> classified(unique.size());
+  runner.for_each_index(unique.size(), [&](std::size_t i) {
+    const core::AppProfile profile =
+        profile_app(workload::app_by_name(unique[i]), experiment);
+    classified[i] = classify_for_runtime(profile, experiment);
+  });
+
+  std::map<std::string, core::ClassifiedApp> db;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    db.emplace(unique[i], std::move(classified[i]));
+  }
+  return db;
+}
+
+std::vector<SweepJob> cross_product(
+    const std::vector<std::vector<std::string>>& workloads,
+    const std::vector<SystemChoice>& choices, const Experiment& experiment) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(workloads.size() * choices.size());
+  for (const std::vector<std::string>& apps : workloads) {
+    for (const SystemChoice choice : choices) {
+      SweepJob job;
+      job.apps = apps;
+      job.choice = choice;
+      job.experiment = experiment;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace moca::sim

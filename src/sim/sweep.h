@@ -1,0 +1,103 @@
+// Parallel sweep engine: runs independent (apps, SystemChoice, Experiment)
+// jobs on a fixed-size worker pool.
+//
+// Every headline figure of the paper is a sweep — six system choices x many
+// apps x config variants — and each (workload, system, experiment) cell is a
+// self-contained simulation: the job builds its own System, EventQueue and
+// RNG state from its Experiment seeds, so nothing is shared across threads
+// and results are bit-identical for any worker count (docs/sweep.md).
+//
+// Results come back in submission order regardless of completion order, so
+// callers can zip them against their job list. A job that throws is captured
+// per-job (ok == false, error text set); the pool survives and the remaining
+// jobs still run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace moca::sim {
+
+/// One cell of a sweep: a workload (1..N apps, one per core) under one
+/// system choice with one experiment configuration.
+struct SweepJob {
+  std::vector<std::string> apps;
+  SystemChoice choice = SystemChoice::kHomogenDdr3;
+  Experiment experiment;
+  /// Optional caller tag carried through to the outcome (e.g. the workload
+  /// set name); purely for labelling, never interpreted.
+  std::string label;
+};
+
+/// Result of one job, in submission order.
+struct SweepOutcome {
+  std::size_t job_id = 0;  // index into the submitted job list
+  std::string label;
+  bool ok = false;
+  std::string error;  // what() of the captured exception when !ok
+  RunResult result;   // valid only when ok
+  /// Host-side observability (not part of the simulated metrics; excluded
+  /// from determinism comparisons).
+  double wall_ms = 0.0;
+  double sim_instr_per_sec = 0.0;
+};
+
+/// Fixed-size worker pool executing sweep jobs concurrently.
+class SweepRunner {
+ public:
+  /// workers == 0 resolves the pool size from the MOCA_SIM_JOBS environment
+  /// variable, falling back to std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned workers = 0);
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// When set, one line per finished job (id, label, wall-clock ms,
+  /// simulated instructions/sec) is written to `out`. The stream is locked
+  /// internally; interleaving is line-atomic.
+  void set_log(std::ostream* out) { log_ = out; }
+
+  /// Runs every job and returns outcomes in submission order. `db` provides
+  /// the classification each app runs under (see build_profile_db); apps
+  /// missing from the db run unclassified, exactly like run_workload.
+  [[nodiscard]] std::vector<SweepOutcome> run(
+      const std::vector<SweepJob>& jobs,
+      const std::map<std::string, core::ClassifiedApp>& db);
+
+  /// Generic fan-out: applies `fn(i)` for i in [0, count) on the pool and
+  /// returns the results in index order. Exceptions propagate per-slot via
+  /// the SweepOutcome-style contract of `run`; here a throwing fn rethrows
+  /// after all slots finish (first error wins). Building block for
+  /// sweep-shaped work that is not a (apps, choice) cell, e.g. profiling.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// Resolves the worker count the way the constructor does; exposed for
+  /// CLI/bench flag handling (--jobs overrides, 0 = auto).
+  [[nodiscard]] static unsigned resolve_workers(unsigned requested);
+
+ private:
+  unsigned workers_ = 1;
+  std::ostream* log_ = nullptr;
+};
+
+/// Parallel profiling stage: profile_app + classify_for_runtime for every
+/// distinct name in `names`, fanned out on `runner`. Deterministic: each
+/// profile run derives its RNG state from the experiment's train seed and
+/// the app name only, so the db is identical to the sequential
+/// build_profile_db in runner.h.
+[[nodiscard]] std::map<std::string, core::ClassifiedApp> build_profile_db(
+    const std::vector<std::string>& names, const Experiment& experiment,
+    SweepRunner& runner);
+
+/// Convenience: the full (workloads x choices) cross product, row-major
+/// (workload outer, choice inner), matching the figure harness loops.
+[[nodiscard]] std::vector<SweepJob> cross_product(
+    const std::vector<std::vector<std::string>>& workloads,
+    const std::vector<SystemChoice>& choices, const Experiment& experiment);
+
+}  // namespace moca::sim

@@ -184,6 +184,136 @@ TEST(Degenerate, KnlTwoTierChainsDegradeGracefully) {
   EXPECT_EQ(r.os_stats.last_resort_allocations, 0u);
 }
 
+TEST(FallbackChain, LatencyChainWalksDocumentedOrderUnderExhaustion) {
+  // Tiny heterogeneous machine: 4 frames per module, registered in the
+  // priority order of the latency chain (RLDRAM, HBM, DDR3, LPDDR2; DDR4
+  // absent). Latency-partition pages must fill the modules strictly in
+  // chain order as each fills up, with every spill counted as a fallback.
+  EventQueue events;
+  dram::MemoryModule rl(dram::make_rldram3(), 4 * kPageBytes, 1, events,
+                        "rl");
+  dram::MemoryModule hbm(dram::make_hbm(), 4 * kPageBytes, 1, events, "hbm");
+  dram::MemoryModule ddr3(dram::make_ddr3(), 4 * kPageBytes, 1, events,
+                          "ddr3");
+  dram::MemoryModule lp(dram::make_lpddr2(), 4 * kPageBytes, 1, events,
+                        "lp");
+  os::PhysicalMemory phys;
+  phys.add_module(&rl);
+  phys.add_module(&hbm);
+  phys.add_module(&ddr3);
+  phys.add_module(&lp);
+  core::MocaPolicy policy;
+  os::Os os(phys, policy);
+  const os::ProcessId pid = os.create_process();
+
+  const auto touch_latency_page = [&](int n) {
+    (void)os.translate(pid, os::kHeapLatBase + n * kPageBytes);
+  };
+  // Chain: RLDRAM -> HBM -> DDR4 (absent, skipped) -> DDR3 -> LPDDR2.
+  int page = 0;
+  for (int i = 0; i < 4; ++i) touch_latency_page(page++);
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              4, 0, 0, 0}));
+  EXPECT_EQ(os.stats().fallback_allocations, 0u);
+
+  for (int i = 0; i < 4; ++i) touch_latency_page(page++);
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              4, 4, 0, 0}));
+  EXPECT_EQ(os.stats().fallback_allocations, 4u);
+
+  for (int i = 0; i < 4; ++i) touch_latency_page(page++);
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              4, 4, 4, 0}));
+  EXPECT_EQ(os.stats().fallback_allocations, 8u);
+
+  for (int i = 0; i < 4; ++i) touch_latency_page(page++);
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              4, 4, 4, 4}));
+  EXPECT_EQ(os.stats().fallback_allocations, 12u);
+  // Every spill stayed on the preference chain; the any-module last resort
+  // never fired (LPDDR2 is the chain's own tail).
+  EXPECT_EQ(os.stats().last_resort_allocations, 0u);
+  EXPECT_EQ(os.stats().page_faults, 16u);
+
+  // Machine genuinely out of memory: loud CheckError, not silent reuse.
+  EXPECT_THROW(touch_latency_page(page), CheckError);
+}
+
+TEST(FallbackChain, LastResortCountedWhenChainHasNoSpace) {
+  // HomogeneousPolicy's chain is a single kind; once that kind is full the
+  // OS may only place pages via the any-module last resort, and every such
+  // placement must be counted — no silent misplacement.
+  EventQueue events;
+  dram::MemoryModule ddr3(dram::make_ddr3(), 2 * kPageBytes, 1, events,
+                          "ddr3");
+  dram::MemoryModule hbm(dram::make_hbm(), 2 * kPageBytes, 1, events, "hbm");
+  os::PhysicalMemory phys;
+  phys.add_module(&ddr3);
+  phys.add_module(&hbm);
+  core::HomogeneousPolicy policy(dram::MemKind::kDdr3);
+  os::Os os(phys, policy);
+  const os::ProcessId pid = os.create_process();
+
+  for (int p = 0; p < 2; ++p) {
+    (void)os.translate(pid, os::kHeapPowBase + p * kPageBytes);
+  }
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              2, 0}));
+  EXPECT_EQ(os.stats().last_resort_allocations, 0u);
+
+  for (int p = 2; p < 4; ++p) {
+    (void)os.translate(pid, os::kHeapPowBase + p * kPageBytes);
+  }
+  // Both extra pages landed in HBM and both were accounted as fallback AND
+  // last-resort placements.
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              2, 2}));
+  EXPECT_EQ(os.stats().fallback_allocations, 2u);
+  EXPECT_EQ(os.stats().last_resort_allocations, 2u);
+
+  EXPECT_THROW((void)os.translate(pid, os::kHeapPowBase + 4 * kPageBytes),
+               CheckError);
+  // A failed allocation maps nothing: frame accounting is unchanged and the
+  // same page can still not be translated (still out of memory).
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              2, 2}));
+  EXPECT_THROW((void)os.translate(pid, os::kHeapPowBase + 4 * kPageBytes),
+               CheckError);
+}
+
+TEST(FallbackChain, SameKindModulesExhaustTogetherBeforeSpilling) {
+  // Two LPDDR2 modules: the round-robin cursor spreads non-intensive pages
+  // across both, and the chain only falls back to DDR3 once BOTH are full.
+  EventQueue events;
+  dram::MemoryModule lp_a(dram::make_lpddr2(), 2 * kPageBytes, 1, events,
+                          "lp0");
+  dram::MemoryModule lp_b(dram::make_lpddr2(), 2 * kPageBytes, 1, events,
+                          "lp1");
+  dram::MemoryModule ddr3(dram::make_ddr3(), 4 * kPageBytes, 1, events,
+                          "ddr3");
+  os::PhysicalMemory phys;
+  phys.add_module(&lp_a);
+  phys.add_module(&lp_b);
+  phys.add_module(&ddr3);
+  core::MocaPolicy policy;
+  os::Os os(phys, policy);
+  const os::ProcessId pid = os.create_process();
+
+  for (int p = 0; p < 4; ++p) {
+    (void)os.translate(pid, os::kHeapPowBase + p * kPageBytes);
+  }
+  // Interleaved 2/2 across the LPDDR2 pair, no fallback yet.
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              2, 2, 0}));
+  EXPECT_EQ(os.stats().fallback_allocations, 0u);
+
+  (void)os.translate(pid, os::kHeapPowBase + 4 * kPageBytes);
+  EXPECT_EQ(os.stats().frames_per_module, (std::vector<std::uint64_t>{
+                                              2, 2, 1}));
+  EXPECT_EQ(os.stats().fallback_allocations, 1u);
+  EXPECT_EQ(os.stats().last_resort_allocations, 0u);
+}
+
 TEST(Degenerate, ZeroWeightlessAppRejected) {
   workload::AppSpec app = workload::app_by_name("gcc");
   app.objects.clear();

@@ -1,0 +1,100 @@
+// Pins down Experiment::effective_warmup() edge cases and
+// Experiment::from_env() environment parsing (MOCA_SIM_INSTR).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "sim/runner.h"
+
+namespace moca {
+namespace {
+
+sim::Experiment with_instructions(std::uint64_t n, std::uint64_t warmup = 0) {
+  sim::Experiment e;
+  e.instructions = n;
+  e.warmup = warmup;
+  return e;
+}
+
+TEST(EffectiveWarmup, ExplicitWarmupWins) {
+  // Any nonzero warmup is used verbatim, even outside the derived clamp.
+  EXPECT_EQ(with_instructions(1'000'000, 1).effective_warmup(), 1u);
+  EXPECT_EQ(with_instructions(1'000'000, 5'000).effective_warmup(), 5'000u);
+  EXPECT_EQ(with_instructions(100, 9'000'000).effective_warmup(),
+            9'000'000u);
+}
+
+TEST(EffectiveWarmup, QuarterWindowInsideClamp) {
+  // instructions/4 between 20K and 250K passes through untouched.
+  EXPECT_EQ(with_instructions(80'000).effective_warmup(), 20'000u);
+  EXPECT_EQ(with_instructions(400'000).effective_warmup(), 100'000u);
+  EXPECT_EQ(with_instructions(1'000'000).effective_warmup(), 250'000u);
+}
+
+TEST(EffectiveWarmup, ClampedToLowerBound) {
+  EXPECT_EQ(with_instructions(0).effective_warmup(), 20'000u);
+  EXPECT_EQ(with_instructions(1).effective_warmup(), 20'000u);
+  EXPECT_EQ(with_instructions(79'999).effective_warmup(), 20'000u);
+}
+
+TEST(EffectiveWarmup, ClampedToUpperBound) {
+  EXPECT_EQ(with_instructions(1'000'001).effective_warmup(), 250'000u);
+  EXPECT_EQ(with_instructions(1'000'000'000).effective_warmup(), 250'000u);
+}
+
+TEST(EffectiveWarmup, ClampBoundariesExact) {
+  // 4 * 20K and 4 * 250K are the exact knees of the clamp.
+  EXPECT_EQ(with_instructions(80'000).effective_warmup(), 20'000u);
+  EXPECT_EQ(with_instructions(80'004).effective_warmup(), 20'001u);
+  EXPECT_EQ(with_instructions(999'996).effective_warmup(), 249'999u);
+  EXPECT_EQ(with_instructions(1'000'000).effective_warmup(), 250'000u);
+}
+
+class FromEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("MOCA_SIM_INSTR"); }
+};
+
+TEST_F(FromEnvTest, UnsetKeepsDefault) {
+  ::unsetenv("MOCA_SIM_INSTR");
+  EXPECT_EQ(sim::Experiment::from_env().instructions,
+            sim::Experiment{}.instructions);
+}
+
+TEST_F(FromEnvTest, ValidValueIsUsed) {
+  ::setenv("MOCA_SIM_INSTR", "123456", 1);
+  EXPECT_EQ(sim::Experiment::from_env().instructions, 123'456u);
+  ::setenv("MOCA_SIM_INSTR", "1", 1);
+  EXPECT_EQ(sim::Experiment::from_env().instructions, 1u);
+}
+
+TEST_F(FromEnvTest, JunkValuesThrow) {
+  for (const char* junk :
+       {"", "abc", "12abc", "abc12", "1.5e6", "0x100", " 100 ", "--3"}) {
+    ::setenv("MOCA_SIM_INSTR", junk, 1);
+    EXPECT_THROW((void)sim::Experiment::from_env(), CheckError)
+        << "accepted junk MOCA_SIM_INSTR='" << junk << "'";
+  }
+}
+
+TEST_F(FromEnvTest, NonPositiveValuesThrow) {
+  for (const char* bad : {"0", "-1", "-100000"}) {
+    ::setenv("MOCA_SIM_INSTR", bad, 1);
+    EXPECT_THROW((void)sim::Experiment::from_env(), CheckError)
+        << "accepted non-positive MOCA_SIM_INSTR='" << bad << "'";
+  }
+}
+
+TEST_F(FromEnvTest, OtherFieldsUntouchedByEnv) {
+  ::setenv("MOCA_SIM_INSTR", "777", 1);
+  const sim::Experiment e = sim::Experiment::from_env();
+  const sim::Experiment d;
+  EXPECT_EQ(e.warmup, d.warmup);
+  EXPECT_EQ(e.train_seed, d.train_seed);
+  EXPECT_EQ(e.ref_seed, d.ref_seed);
+  EXPECT_EQ(e.hetero_config, d.hetero_config);
+}
+
+}  // namespace
+}  // namespace moca

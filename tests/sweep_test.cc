@@ -1,0 +1,231 @@
+// SweepRunner determinism and robustness: the parallel engine must produce
+// results that are independent of worker count (byte-identical JSON, same
+// order), survive failing jobs, and handle degenerate shapes (empty job
+// lists, more jobs than workers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "common/check.h"
+#include "common/work_queue.h"
+#include "sim/report.h"
+#include "sim/sweep.h"
+
+namespace moca {
+namespace {
+
+sim::Experiment small_experiment() {
+  sim::Experiment e;
+  e.instructions = 60'000;
+  return e;
+}
+
+/// A small but representative job set: two apps x three systems, including
+/// the classified MOCA policy so the db actually matters.
+std::vector<sim::SweepJob> sample_jobs(const sim::Experiment& e) {
+  const std::vector<sim::SystemChoice> systems{
+      sim::SystemChoice::kHomogenDdr3, sim::SystemChoice::kHeterApp,
+      sim::SystemChoice::kMoca};
+  std::vector<sim::SweepJob> jobs;
+  for (const char* app : {"gcc", "disparity"}) {
+    for (const sim::SystemChoice choice : systems) {
+      sim::SweepJob job;
+      job.apps = {app};
+      job.choice = choice;
+      job.experiment = e;
+      job.label = app;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::vector<std::string> report_jsons(
+    const std::vector<sim::SweepOutcome>& outcomes) {
+  std::vector<std::string> jsons;
+  for (const sim::SweepOutcome& o : outcomes) {
+    EXPECT_TRUE(o.ok) << o.error;
+    jsons.push_back(sim::to_json(o.result));
+  }
+  return jsons;
+}
+
+TEST(SweepRunner, ThreadCountInvariance) {
+  const sim::Experiment e = small_experiment();
+  const std::vector<sim::SweepJob> jobs = sample_jobs(e);
+  sim::SweepRunner seq(1);
+  const auto db = sim::build_profile_db({"gcc", "disparity"}, e, seq);
+
+  // The same job set under 1, 2 and 8 workers: byte-identical JSON reports
+  // in the same (submission) order. 8 workers oversubscribes the job list
+  // on any host, exercising the more-workers-than-jobs path too.
+  const std::vector<std::string> base = report_jsons(seq.run(jobs, db));
+  ASSERT_EQ(base.size(), jobs.size());
+  for (const unsigned workers : {2u, 8u}) {
+    sim::SweepRunner par(workers);
+    EXPECT_EQ(par.workers(), workers);
+    const std::vector<std::string> got = report_jsons(par.run(jobs, db));
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i], base[i])
+          << "worker-count-dependent result for job " << i << " ("
+          << jobs[i].label << " / " << to_string(jobs[i].choice) << ") with "
+          << workers << " workers";
+    }
+  }
+}
+
+TEST(SweepRunner, ParallelProfileDbMatchesSequential) {
+  const sim::Experiment e = small_experiment();
+  const std::vector<std::string> names{"gcc", "disparity", "gcc"};  // dup
+  sim::SweepRunner seq(1);
+  sim::SweepRunner par(4);
+  const auto db_seq = sim::build_profile_db(names, e, seq);
+  const auto db_par = sim::build_profile_db(names, e, par);
+  // Same as the original sequential runner.h entry point, too.
+  const auto db_orig = sim::build_profile_db(names, e);
+
+  ASSERT_EQ(db_seq.size(), 2u);
+  ASSERT_EQ(db_par.size(), 2u);
+  for (const auto& [name, classes] : db_seq) {
+    ASSERT_TRUE(db_par.contains(name));
+    ASSERT_TRUE(db_orig.contains(name));
+    EXPECT_EQ(classes.app_class, db_par.at(name).app_class);
+    EXPECT_EQ(classes.app_class, db_orig.at(name).app_class);
+    EXPECT_EQ(classes.object_class, db_par.at(name).object_class);
+    EXPECT_EQ(classes.object_class, db_orig.at(name).object_class);
+  }
+}
+
+TEST(SweepRunner, EmptyJobList) {
+  sim::SweepRunner runner(4);
+  const std::vector<sim::SweepOutcome> outcomes = runner.run({}, {});
+  EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(SweepRunner, MoreJobsThanWorkers) {
+  const sim::Experiment e = small_experiment();
+  std::vector<sim::SweepJob> jobs;
+  for (int i = 0; i < 7; ++i) {
+    sim::SweepJob job;
+    job.apps = {"gcc"};
+    job.choice = sim::SystemChoice::kHomogenDdr3;
+    job.experiment = e;
+    jobs.push_back(std::move(job));
+  }
+  sim::SweepRunner runner(2);
+  const auto db = sim::build_profile_db({"gcc"}, e, runner);
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
+  ASSERT_EQ(outcomes.size(), 7u);
+  const std::string first = sim::to_json(outcomes[0].result);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok);
+    EXPECT_EQ(outcomes[i].job_id, i);
+    EXPECT_GE(outcomes[i].wall_ms, 0.0);
+    EXPECT_GT(outcomes[i].sim_instr_per_sec, 0.0);
+    // Identical jobs must report identical simulated metrics.
+    EXPECT_EQ(sim::to_json(outcomes[i].result), first);
+  }
+}
+
+TEST(SweepRunner, FailingJobIsCapturedAndPoolSurvives) {
+  const sim::Experiment e = small_experiment();
+  std::vector<sim::SweepJob> jobs = sample_jobs(e);
+  sim::SweepJob bad;
+  bad.apps = {"no-such-app"};  // app_by_name throws CheckError
+  bad.choice = sim::SystemChoice::kHomogenDdr3;
+  bad.experiment = e;
+  bad.label = "bad";
+  jobs.insert(jobs.begin() + 2, std::move(bad));
+
+  sim::SweepRunner runner(4);
+  const auto db = sim::build_profile_db({"gcc", "disparity"}, e, runner);
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(outcomes[i].ok);
+      EXPECT_FALSE(outcomes[i].error.empty());
+    } else {
+      EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    }
+  }
+  // The error report is serializable alongside the good results.
+  const std::string json = sim::to_json(outcomes);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"error\""), std::string::npos);
+}
+
+TEST(SweepRunner, WorkerCountResolution) {
+  // Explicit request wins.
+  EXPECT_EQ(sim::SweepRunner::resolve_workers(3), 3u);
+  // MOCA_SIM_JOBS drives the auto value.
+  ::setenv("MOCA_SIM_JOBS", "5", 1);
+  EXPECT_EQ(sim::SweepRunner::resolve_workers(0), 5u);
+  EXPECT_EQ(sim::SweepRunner(0).workers(), 5u);
+  // Junk values are rejected loudly, not silently coerced.
+  ::setenv("MOCA_SIM_JOBS", "banana", 1);
+  EXPECT_THROW((void)sim::SweepRunner::resolve_workers(0), CheckError);
+  ::setenv("MOCA_SIM_JOBS", "0", 1);
+  EXPECT_THROW((void)sim::SweepRunner::resolve_workers(0), CheckError);
+  ::setenv("MOCA_SIM_JOBS", "4x", 1);
+  EXPECT_THROW((void)sim::SweepRunner::resolve_workers(0), CheckError);
+  ::unsetenv("MOCA_SIM_JOBS");
+  EXPECT_GE(sim::SweepRunner::resolve_workers(0), 1u);
+}
+
+TEST(WorkQueue, DrainsAfterCloseAndUnblocksConsumers) {
+  WorkQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  queue.push(3);  // dropped: pushed after close
+  std::multiset<int> seen;
+  while (auto item = queue.pop()) seen.insert(*item);
+  EXPECT_EQ(seen, (std::multiset<int>{1, 2}));
+
+  // A consumer blocked on an empty queue wakes up on close.
+  WorkQueue<int> empty;
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(empty.pop(), std::nullopt);
+    woke = true;
+  });
+  empty.close();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(WorkQueue, ConcurrentProducersAndConsumers) {
+  WorkQueue<int> queue;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        ++consumed;
+        sum += *item;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 3 * kPerProducer);
+  const long long n = 3LL * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace moca

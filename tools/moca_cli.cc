@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "sim/report.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "trace/record.h"
 #include "trace/replay.h"
 #include "workload/parse.h"
@@ -40,8 +41,14 @@ struct Args {
   }
   std::uint64_t get_u64(const std::string& f, std::uint64_t fallback) const {
     const auto it = flags.find(f);
-    return it == flags.end() ? fallback : std::strtoull(it->second.c_str(),
-                                                        nullptr, 10);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(it->second.c_str(), &end, 10);
+    MOCA_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                   "flag --" << f << " needs a number, got '" << it->second
+                             << "'");
+    return value;
   }
 };
 
@@ -51,8 +58,9 @@ Args parse(int argc, char** argv, int start) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string name = token.substr(2);
-      // --classify is a bare flag; the others take a value.
-      if (name == "classify" || name == "json") {
+      // --classify, --json and --log are bare flags; the others take a
+      // value.
+      if (name == "classify" || name == "json" || name == "log") {
         args.flags[name] = "1";
       } else {
         MOCA_CHECK_MSG(i + 1 < argc, "flag --" << name << " needs a value");
@@ -71,6 +79,14 @@ sim::Experiment experiment_from(const Args& args) {
   e.hetero_config =
       static_cast<int>(args.get_u64("config", e.hetero_config));
   return e;
+}
+
+/// Worker pool for sweep-shaped commands: --jobs N overrides, otherwise
+/// MOCA_SIM_JOBS / hardware_concurrency; --log prints per-job lines.
+sim::SweepRunner runner_from(const Args& args) {
+  sim::SweepRunner runner(static_cast<unsigned>(args.get_u64("jobs", 0)));
+  if (args.has("log")) runner.set_log(&std::cerr);
+  return runner;
 }
 
 std::optional<sim::SystemChoice> parse_system(const std::string& name) {
@@ -197,7 +213,8 @@ int cmd_run(const Args& args) {
   }
   const auto choice = parse_system(system);
   MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << system);
-  const auto db = sim::build_profile_db(args.positional, e);
+  sim::SweepRunner runner = runner_from(args);
+  const auto db = sim::build_profile_db(args.positional, e, runner);
   report(sim::run_workload(args.positional, *choice, db, e));
   return 0;
 }
@@ -205,20 +222,40 @@ int cmd_run(const Args& args) {
 int cmd_compare(const Args& args) {
   MOCA_CHECK_MSG(!args.positional.empty(), "compare needs apps");
   const sim::Experiment e = experiment_from(args);
-  const auto db = sim::build_profile_db(args.positional, e);
+  sim::SweepRunner runner = runner_from(args);
+  const auto db = sim::build_profile_db(args.positional, e, runner);
+
+  // All six systems on the worker pool; outcomes come back in submission
+  // order so the DDR3 baseline is always outcomes[0].
+  std::vector<sim::SweepJob> jobs;
+  for (const sim::SystemChoice choice : sim::all_system_choices()) {
+    sim::SweepJob job;
+    job.apps = args.positional;
+    job.choice = choice;
+    job.experiment = e;
+    job.label = sim::to_string(choice);
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
+  if (args.has("json")) {
+    std::cout << sim::to_json(outcomes) << '\n';
+    return 0;
+  }
+
   Table t({"system", "mem time (norm)", "mem EDP (norm)",
            "system EDP (norm)"});
   double bt = 0, be = 0, bs = 0;
-  for (const sim::SystemChoice choice : sim::all_system_choices()) {
-    const sim::RunResult r = sim::run_workload(args.positional, choice, db,
-                                               e);
-    if (choice == sim::SystemChoice::kHomogenDdr3) {
+  for (const sim::SweepOutcome& outcome : outcomes) {
+    MOCA_CHECK_MSG(outcome.ok, "job " << outcome.label
+                                      << " failed: " << outcome.error);
+    const sim::RunResult& r = outcome.result;
+    if (jobs[outcome.job_id].choice == sim::SystemChoice::kHomogenDdr3) {
       bt = static_cast<double>(r.total_mem_access_time);
       be = r.memory_edp();
       bs = r.system_edp();
     }
     t.row()
-        .cell(sim::to_string(choice))
+        .cell(outcome.label)
         .cell(static_cast<double>(r.total_mem_access_time) / bt, 3)
         .cell(r.memory_edp() / be, 3)
         .cell(r.system_edp() / bs, 3);
@@ -341,7 +378,7 @@ int usage() {
          "  list                                  suite and systems\n"
          "  profile <app> [--instr N] [--out F]   offline profiling\n"
          "  run <app>... [--system S] [--config C] [--instr N]\n"
-         "  compare <app>... [--instr N]          all six systems\n"
+         "  compare <app>... [--instr N] [--jobs N] [--log] [--json]\n"
          "  record <app> --out F [--ops N] [--classify]\n"
          "  profile-file <spec.app> [--instr N]      custom workload file\n"
          "  run-file <spec.app> [--system S] [--json]\n"

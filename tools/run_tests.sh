@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the test suite twice: once with the regular Release preset (the
+# tier-1 configuration) and once under AddressSanitizer + UBSan via the
+# `sanitize` CMake preset. Any failure in either pass fails the script.
+#
+#   tools/run_tests.sh            # both passes
+#   tools/run_tests.sh --fast     # Release pass only
+#   tools/run_tests.sh --sanitize # sanitizer pass only
+#
+# Worker count for the parallel sweep engine is inherited from
+# MOCA_SIM_JOBS; ctest parallelism follows the host's core count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+run_release=1
+run_sanitize=1
+case "${1:-}" in
+  --fast) run_sanitize=0 ;;
+  --sanitize) run_release=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--fast|--sanitize]" >&2; exit 2 ;;
+esac
+
+run_pass() {
+  local preset=$1
+  echo "=== [$preset] configure + build + ctest ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+}
+
+[ "$run_release" = 1 ] && run_pass default
+[ "$run_sanitize" = 1 ] && run_pass sanitize
+echo "=== all requested passes green ==="
