@@ -71,6 +71,27 @@ bool Cache::access(std::uint64_t addr, bool is_write) {
   return false;
 }
 
+bool Cache::probe(std::uint64_t addr, bool is_write) {
+  Line* hit = find(addr >> kLineShift);
+  if (hit == nullptr) return false;
+  hit->lru = ++lru_clock_;
+  if (is_write) {
+    hit->dirty = true;
+    ++stats_.write_hits;
+  } else {
+    ++stats_.read_hits;
+  }
+  return true;
+}
+
+void Cache::record_miss(bool is_write) {
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+}
+
 bool Cache::contains(std::uint64_t addr) const {
   return find(addr >> kLineShift) != nullptr;
 }

@@ -48,6 +48,16 @@ class Cache {
   /// Looks up `addr`; on hit updates LRU (and dirty for writes).
   [[nodiscard]] bool access(std::uint64_t addr, bool is_write);
 
+  /// Fused lookup for the hierarchy's probe-then-decide paths: behaves like
+  /// access() on a hit (LRU/dirty update + hit stat) but records nothing on
+  /// a miss, so the caller can decide the miss outcome (MSHR merge, defer,
+  /// reject) and account it with record_miss() — one set walk instead of
+  /// the contains()+access() pair.
+  [[nodiscard]] bool probe(std::uint64_t addr, bool is_write);
+
+  /// Books the miss half of a probe() that came back false.
+  void record_miss(bool is_write);
+
   /// Looks up without updating replacement state or stats.
   [[nodiscard]] bool contains(std::uint64_t addr) const;
 

@@ -23,6 +23,8 @@ MemHierarchy::MemHierarchy(const CacheConfig& l1_config,
       l2_(l2_config),
       events_(events),
       backend_(std::move(backend)),
+      l1_mshr_(l1_config.mshrs),
+      l2_mshr_(l2_config.mshrs),
       l1_latency_(l1_config.latency_cycles * kCpuCyclePs),
       l2_latency_(l2_config.latency_cycles * kCpuCyclePs) {
   MOCA_CHECK(backend_ != nullptr);
@@ -36,42 +38,41 @@ IssueResult MemHierarchy::issue_load(std::uint64_t paddr,
   const std::uint64_t line = line_of(paddr);
 
   // Merge into a pending L1 miss before anything else: it costs no MSHR.
-  if (auto it = l1_mshr_.find(line); it != l1_mshr_.end()) {
+  if (L1Entry* pending = l1_mshr_.find(line); pending != nullptr) {
     ++stats_.loads;
     ++stats_.l1_accesses;
     ++stats_.l1_load_merges;
-    it->second.waiters.push_back(std::move(cb));
-    return it->second.llc_miss ? IssueResult::kLlcMiss : IssueResult::kL2Hit;
+    pending->waiters.push_back(std::move(cb));
+    return pending->llc_miss ? IssueResult::kLlcMiss : IssueResult::kL2Hit;
   }
 
-  if (l1_.contains(paddr)) {
+  // One fused set walk: a hit updates LRU and hit stats right here; a miss
+  // records nothing until the MSHR-capacity decision below.
+  if (l1_.probe(paddr, /*is_write=*/false)) {
     ++stats_.loads;
     ++stats_.l1_accesses;
     ++stats_.l1_load_hits;
-    const bool hit = l1_.access(paddr, /*is_write=*/false);
-    MOCA_CHECK(hit);
-    events_.schedule(now() + l1_latency_,
-                     [cb = std::move(cb), t = now() + l1_latency_] { cb(t); });
+    const TimePs done = now() + l1_latency_;
+    events_.schedule(done, [cb = std::move(cb), done] { cb(done); });
     return IssueResult::kL1Hit;
   }
 
-  if (l1_mshr_.size() >= l1_.config().mshrs) return IssueResult::kNoMshr;
+  if (l1_mshr_.full()) return IssueResult::kNoMshr;
 
   ++stats_.loads;
   ++stats_.l1_accesses;
-  const bool hit = l1_.access(paddr, /*is_write=*/false);  // records the miss
-  MOCA_CHECK(!hit);
+  l1_.record_miss(/*is_write=*/false);
 
-  L1Entry& entry = l1_mshr_[line];
+  L1Entry& entry = l1_mshr_.acquire(line);
   entry.waiters.push_back(std::move(cb));
   const L2Route route =
       route_to_l2(line, ctx,
                   [this, line](TimePs when) { finish_l1_fill(line, when); },
                   /*dirty_fill=*/false);
-  // route_to_l2 may run synchronously-scheduled actions only via the event
-  // queue, so the entry reference stays valid here.
+  // route_to_l2 never touches the L1 book and fills only run via the event
+  // queue, so the acquired slot reference is still valid here.
   if (route == L2Route::kMiss) {
-    l1_mshr_[line].llc_miss = true;
+    entry.llc_miss = true;
     return IssueResult::kLlcMiss;
   }
   return IssueResult::kL2Hit;
@@ -82,14 +83,13 @@ void MemHierarchy::issue_store(std::uint64_t paddr, const AccessContext& ctx) {
   ++stats_.stores;
   ++stats_.l1_accesses;
 
-  if (l1_.contains(paddr)) {
-    const bool hit = l1_.access(paddr, /*is_write=*/true);
-    MOCA_CHECK(hit);
-    return;
-  }
-  if (auto it = l1_mshr_.find(line); it != l1_mshr_.end()) {
+  // Fused walk; a store miss deliberately records no L1 stat (write-around:
+  // the line is never requested for L1).
+  if (l1_.probe(paddr, /*is_write=*/true)) return;
+
+  if (L1Entry* pending = l1_mshr_.find(line); pending != nullptr) {
     // The fill in flight will install the line; mark it dirty on arrival.
-    it->second.store_merge = true;
+    pending->store_merge = true;
     return;
   }
   // Write-around L1: allocate at L2 only.
@@ -105,26 +105,25 @@ MemHierarchy::L2Route MemHierarchy::route_to_l2(std::uint64_t line,
   const std::uint64_t addr = addr_of(line);
   ++stats_.l2_accesses;
 
-  if (l2_.contains(addr)) {
+  // Fused walk at L2 as well: the miss is recorded by start_l2_miss only —
+  // merged and deferred requests never double-count.
+  if (l2_.probe(addr, /*is_write=*/dirty_fill)) {
     ++stats_.l2_hits;
-    const bool hit = l2_.access(addr, /*is_write=*/dirty_fill);
-    MOCA_CHECK(hit);
     if (action) {
-      events_.schedule(now() + l2_latency_,
-                       [action = std::move(action), t = now() + l2_latency_] {
-                         action(t);
-                       });
+      const TimePs done = now() + l2_latency_;
+      events_.schedule(done,
+                       [action = std::move(action), done] { action(done); });
     }
     return L2Route::kHit;
   }
 
-  if (auto it = l2_mshr_.find(line); it != l2_mshr_.end()) {
-    if (action) it->second.actions.push_back(std::move(action));
-    it->second.dirty_fill |= dirty_fill;
+  if (L2Entry* pending = l2_mshr_.find(line); pending != nullptr) {
+    if (action) pending->actions.push_back(std::move(action));
+    pending->dirty_fill |= dirty_fill;
     return L2Route::kMiss;
   }
 
-  if (l2_mshr_.size() >= l2_.config().mshrs) {
+  if (l2_mshr_.full()) {
     l2_deferred_.push_back(
         Deferred{line, ctx, std::move(action), dirty_fill});
     return L2Route::kMiss;
@@ -137,9 +136,10 @@ MemHierarchy::L2Route MemHierarchy::route_to_l2(std::uint64_t line,
 void MemHierarchy::start_l2_miss(std::uint64_t line, const AccessContext& ctx,
                                  L2Action action, bool dirty_fill,
                                  bool is_prefetch) {
-  const bool miss_recorded = l2_.access(addr_of(line), dirty_fill);
-  MOCA_CHECK(!miss_recorded);
-  L2Entry& entry = l2_mshr_[line];
+  // Callers (route_to_l2 after a failed probe, maybe_prefetch after a
+  // contains check) guarantee the line is absent; only the stat remains.
+  l2_.record_miss(dirty_fill);
+  L2Entry& entry = l2_mshr_.acquire(line);
   if (action) entry.actions.push_back(std::move(action));
   entry.dirty_fill |= dirty_fill;
   if (is_prefetch) {
@@ -161,8 +161,10 @@ void MemHierarchy::start_l2_miss(std::uint64_t line, const AccessContext& ctx,
 void MemHierarchy::maybe_prefetch(std::uint64_t line) {
   for (std::uint32_t d = 1; d <= prefetch_degree_; ++d) {
     const std::uint64_t next = line + d;
-    if (l2_mshr_.size() >= l2_.config().mshrs) return;  // never defer
-    if (l2_.contains(addr_of(next)) || l2_mshr_.contains(next)) continue;
+    if (l2_mshr_.full()) return;  // never defer
+    if (l2_.contains(addr_of(next)) || l2_mshr_.find(next) != nullptr) {
+      continue;
+    }
     ++stats_.l2_accesses;
     start_l2_miss(next, AccessContext{}, nullptr, /*dirty_fill=*/false,
                   /*is_prefetch=*/true);
@@ -170,10 +172,7 @@ void MemHierarchy::maybe_prefetch(std::uint64_t line) {
 }
 
 void MemHierarchy::on_memory_fill(std::uint64_t line, TimePs when) {
-  auto it = l2_mshr_.find(line);
-  MOCA_CHECK_MSG(it != l2_mshr_.end(), "memory fill without L2 MSHR entry");
-  L2Entry entry = std::move(it->second);
-  l2_mshr_.erase(it);
+  L2Entry entry = l2_mshr_.take(line);
 
   fill_l2(line, entry.dirty_fill, when);
   for (L2Action& action : entry.actions) action(when);
@@ -190,10 +189,7 @@ void MemHierarchy::fill_l2(std::uint64_t line, bool dirty, TimePs when) {
 }
 
 void MemHierarchy::finish_l1_fill(std::uint64_t line, TimePs when) {
-  auto it = l1_mshr_.find(line);
-  MOCA_CHECK_MSG(it != l1_mshr_.end(), "L1 fill without MSHR entry");
-  L1Entry entry = std::move(it->second);
-  l1_mshr_.erase(it);
+  L1Entry entry = l1_mshr_.take(line);
 
   const Cache::Evicted victim = l1_.fill(addr_of(line), entry.store_merge);
   if (victim.valid && victim.dirty) {
@@ -204,14 +200,11 @@ void MemHierarchy::finish_l1_fill(std::uint64_t line, TimePs when) {
 
 void MemHierarchy::write_dirty_victim_to_l2(std::uint64_t victim_line_addr) {
   ++stats_.l2_accesses;
-  if (l2_.contains(victim_line_addr)) {
-    const bool hit = l2_.access(victim_line_addr, /*is_write=*/true);
-    MOCA_CHECK(hit);
-    return;
-  }
-  if (auto it = l2_mshr_.find(line_of(victim_line_addr));
-      it != l2_mshr_.end()) {
-    it->second.dirty_fill = true;  // fold into the in-flight fill
+  // Fused walk: a hit folds the dirty data into the resident line.
+  if (l2_.probe(victim_line_addr, /*is_write=*/true)) return;
+  if (L2Entry* pending = l2_mshr_.find(line_of(victim_line_addr));
+      pending != nullptr) {
+    pending->dirty_fill = true;  // fold into the in-flight fill
     return;
   }
   // L2 already lost the line: forward straight to memory, no allocation.
@@ -220,7 +213,7 @@ void MemHierarchy::write_dirty_victim_to_l2(std::uint64_t victim_line_addr) {
 }
 
 void MemHierarchy::drain_deferred() {
-  while (!l2_deferred_.empty() && l2_mshr_.size() < l2_.config().mshrs) {
+  while (!l2_deferred_.empty() && !l2_mshr_.full()) {
     Deferred d = std::move(l2_deferred_.front());
     l2_deferred_.pop_front();
     (void)route_to_l2(d.line, d.ctx, std::move(d.action), d.dirty_fill);

@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/check.h"
 #include "common/event_queue.h"
+#include "common/small_vec.h"
 #include "common/time.h"
 
 namespace moca::cache {
@@ -81,6 +82,68 @@ struct HierarchyStats {
   }
 };
 
+/// Fixed-capacity MSHR file: a flat array of (line, entry) slots sized by
+/// the cache's `mshrs` at construction (PR 2). MSHR files hold at most a
+/// few tens of in-flight lines, so a linear scan beats hashing — no
+/// rehashing, no node allocation, and slot references stay stable for the
+/// entry's whole lifetime. Lookup order is irrelevant to simulated behavior
+/// (entries are only ever found by line, never iterated).
+template <typename Entry>
+class MshrBook {
+ public:
+  explicit MshrBook(std::size_t capacity) : slots_(capacity) {}
+
+  [[nodiscard]] Entry* find(std::uint64_t line) {
+    for (Slot& s : slots_) {
+      if (s.used && s.line == line) return &s.entry;
+    }
+    return nullptr;
+  }
+
+  /// Claims a free slot for `line`. Caller guarantees !full() and that the
+  /// line has no entry yet. The reference stays valid until take(line).
+  Entry& acquire(std::uint64_t line) {
+    for (Slot& s : slots_) {
+      if (!s.used) {
+        s.used = true;
+        s.line = line;
+        ++size_;
+        return s.entry;
+      }
+    }
+    detail::check_failed("MshrBook::acquire", __FILE__, __LINE__,
+                         "no free slot");
+  }
+
+  /// Removes the entry for `line`, returning it by value (moved out, so the
+  /// slot is reusable before the caller finishes consuming the entry).
+  Entry take(std::uint64_t line) {
+    for (Slot& s : slots_) {
+      if (s.used && s.line == line) {
+        s.used = false;
+        --size_;
+        Entry out = std::move(s.entry);
+        s.entry = Entry{};  // move leaves flags behind; reset for reuse
+        return out;
+      }
+    }
+    detail::check_failed("MshrBook::take", __FILE__, __LINE__,
+                         "no entry for the line");
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t line = 0;
+    bool used = false;
+    Entry entry;
+  };
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
 /// One core's private L1D + L2 and their miss machinery.
 class MemHierarchy {
  public:
@@ -136,13 +199,15 @@ class MemHierarchy {
   /// Runs when the line is available at L2 level (fill done or L2 hit).
   using L2Action = std::function<void(TimePs when)>;
 
+  // One waiter/action is the overwhelmingly common case (two with a merge);
+  // the inline capacity keeps MSHR traffic allocation-free.
   struct L1Entry {
-    std::vector<LoadCallback> waiters;
+    SmallVec<LoadCallback, 2> waiters;
     bool store_merge = false;  // a store targets the line being filled
     bool llc_miss = false;     // fill comes from DRAM, not L2
   };
   struct L2Entry {
-    std::vector<L2Action> actions;
+    SmallVec<L2Action, 2> actions;
     bool dirty_fill = false;  // a store allocated/joined this fill
   };
   struct Deferred {
@@ -176,8 +241,10 @@ class MemHierarchy {
   EventQueue& events_;
   Backend backend_;
   MissObserver miss_observer_;
-  std::unordered_map<std::uint64_t, L1Entry> l1_mshr_;  // keyed by line index
-  std::unordered_map<std::uint64_t, L2Entry> l2_mshr_;
+  MshrBook<L1Entry> l1_mshr_;  // keyed by line index
+  MshrBook<L2Entry> l2_mshr_;
+  // Unbounded overflow for L2-MSHR-full misses; replayed FIFO as entries
+  // free up. Not hot (only touched under MSHR pressure), so a deque is fine.
   std::deque<Deferred> l2_deferred_;
   HierarchyStats stats_;
   TimePs l1_latency_;

@@ -1,0 +1,166 @@
+// Small-buffer vector for hot-path bookkeeping (PR 2).
+//
+// The simulator's per-request lists are tiny in steady state — an MSHR entry
+// holds one or two waiters, an instruction has a handful of dependents — but
+// std::vector starts on the heap and std::deque allocates its map even when
+// empty. SmallVec keeps the first N elements inline and only spills to the
+// heap beyond that, so the common case costs zero allocations. The interface
+// is the minimal subset the simulator uses (push_back/emplace_back, range
+// iteration, clear); it is not a general-purpose container.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace moca {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(SmallVec&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVec(const SmallVec& other) { copy_from(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      destroy();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroy(); }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data()[size_].~T();
+  }
+
+  /// Destroys the elements but keeps any spilled capacity for reuse.
+  void clear() {
+    T* p = data();
+    for (std::size_t i = 0; i < size_; ++i) p[i].~T();
+    size_ = 0;
+  }
+
+  [[nodiscard]] T* data() {
+    return heap_ != nullptr ? heap_
+                            : std::launder(reinterpret_cast<T*>(inline_));
+  }
+  [[nodiscard]] const T* data() const {
+    return heap_ != nullptr
+               ? heap_
+               : std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// True while the elements still live in the inline buffer.
+  [[nodiscard]] bool inlined() const { return heap_ == nullptr; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] T& back() { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data()[size_ - 1]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void move_from(SmallVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      // Steal the spilled buffer wholesale.
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    heap_ = nullptr;
+    capacity_ = N;
+    size_ = other.size_;
+    T* src = std::launder(reinterpret_cast<T*>(other.inline_));
+    T* dst = std::launder(reinterpret_cast<T*>(inline_));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    other.size_ = 0;
+  }
+
+  void copy_from(const SmallVec& other) {
+    heap_ = nullptr;
+    capacity_ = N;
+    size_ = 0;
+    if (other.size_ > N) {
+      heap_ = static_cast<T*>(::operator new(other.capacity_ * sizeof(T)));
+      capacity_ = other.capacity_;
+    }
+    T* dst = data();
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(dst + i)) T(other.data()[i]);
+    }
+    size_ = other.size_;
+  }
+
+  void destroy() {
+    clear();
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace moca

@@ -1,5 +1,7 @@
 #include "cpu/core.h"
 
+#include <bit>
+
 #include "common/check.h"
 #include "common/units.h"
 
@@ -19,7 +21,10 @@ Core::Core(std::uint32_t core_id, const CoreParams& params, OpStream& stream,
   MOCA_CHECK(params_.rob_entries > 0 && params_.width > 0);
   MOCA_CHECK(params_.page_walk_cycles <
              static_cast<Cycle>(kWheelSize));
-  rob_.resize(params_.rob_entries);
+  rob_.resize(std::bit_ceil<std::uint64_t>(params_.rob_entries));
+  rob_mask_ = rob_.size() - 1;
+  ready_buf_.resize(rob_.size() * 2);  // occupancy is bounded by the ROB
+  ready_mask_ = ready_buf_.size() - 1;
   wheel_.resize(kWheelSize);
 }
 
@@ -36,18 +41,25 @@ void Core::step() {
 void Core::schedule_wheel(Cycle at, WheelItem item) {
   MOCA_CHECK(at > stats_.cycles &&
              at - stats_.cycles < static_cast<Cycle>(kWheelSize));
-  wheel_[static_cast<std::size_t>(at % kWheelSize)].push_back(item);
+  const std::size_t idx = static_cast<std::size_t>(at % kWheelSize);
+  wheel_[idx].push_back(item);
+  wheel_occ_[idx >> 6] |= 1ULL << (idx & 63);
 }
 
 void Core::run_wheel() {
-  auto& bucket = wheel_[static_cast<std::size_t>(stats_.cycles % kWheelSize)];
+  // Most cycles have nothing due; the occupancy bitmap makes that case a
+  // single cached word test instead of a vector-header load.
+  const std::size_t idx = static_cast<std::size_t>(stats_.cycles % kWheelSize);
+  if ((wheel_occ_[idx >> 6] & (1ULL << (idx & 63))) == 0) return;
+  wheel_occ_[idx >> 6] &= ~(1ULL << (idx & 63));
+  auto& bucket = wheel_[idx];
   for (const WheelItem& item : bucket) {
     Entry& e = slot(item.seq);
     if (!e.valid || e.seq != item.seq) continue;  // flushed/committed
     if (item.is_completion) {
       complete(item.seq);
     } else {
-      ready_.push_front(item.seq);  // page walk finished; issue soon
+      ready_push_front(item.seq);  // page walk finished; issue soon
     }
   }
   bucket.clear();
@@ -79,7 +91,7 @@ void Core::make_ready(Entry& entry) {
     schedule_wheel(entry.walk_done, WheelItem{entry.seq, false});
     return;
   }
-  ready_.push_back(entry.seq);
+  ready_push_back(entry.seq);
 }
 
 std::uint64_t Core::translate(std::uint64_t vaddr, bool* walked) {
@@ -143,11 +155,10 @@ void Core::do_issue() {
   std::uint32_t issued = 0;
   std::uint32_t load_ports = 0;
   bool mshr_full = false;
-  std::deque<std::uint64_t> deferred;
+  issue_deferred_.clear();
 
-  while (issued < params_.width && !ready_.empty()) {
-    const std::uint64_t seq = ready_.front();
-    ready_.pop_front();
+  while (issued < params_.width && !ready_empty()) {
+    const std::uint64_t seq = ready_pop_front();
     Entry& e = slot(seq);
     if (!e.valid || e.seq != seq || e.issued) continue;
     MOCA_CHECK(e.deps_remaining == 0);
@@ -169,7 +180,7 @@ void Core::do_issue() {
       }
       case OpKind::kLoad: {
         if (load_ports >= params_.l1_load_ports || mshr_full) {
-          deferred.push_back(seq);
+          issue_deferred_.push_back(seq);
           continue;
         }
         ++load_ports;
@@ -178,15 +189,15 @@ void Core::do_issue() {
           // L1 MSHRs exhausted: stop trying loads this cycle.
           mshr_full = true;
           ++stats_.mshr_reject_cycles;
-          deferred.push_back(seq);
+          issue_deferred_.push_back(seq);
         }
         break;
       }
     }
   }
   // Preserve age order for next cycle: deferred loads go to the front.
-  for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
-    ready_.push_front(*it);
+  for (auto it = issue_deferred_.rbegin(); it != issue_deferred_.rend(); ++it) {
+    ready_push_front(*it);
   }
 }
 
@@ -255,7 +266,7 @@ bool Core::issue_load(Entry& entry) {
 
 void Core::do_dispatch() {
   for (std::uint32_t n = 0; n < params_.width; ++n) {
-    if (dispatched_ - committed_ >= rob_.size()) return;  // ROB full
+    if (dispatched_ - committed_ >= params_.rob_entries) return;  // ROB full
     // Peek-free model: we must know the op before checking LQ space, so
     // buffer one fetched op across cycles when the LQ blocks dispatch.
     if (!fetched_valid_) {
@@ -268,11 +279,20 @@ void Core::do_dispatch() {
 
     const std::uint64_t seq = dispatched_++;
     Entry& e = slot(seq);
-    MOCA_CHECK(!e.valid);
-    e = Entry{};
+    // Reset fields in place: commit left the slot invalid and completion
+    // already cleared dependents, so a whole-struct `e = Entry{}` would
+    // construct and move ~sizeof(Entry) bytes per dispatch for nothing.
+    MOCA_CHECK(!e.valid && e.dependents.empty());
     e.op = fetched_;
     e.seq = seq;
+    e.paddr = 0;
+    e.walk_done = 0;
     e.valid = true;
+    e.done = false;
+    e.issued = false;
+    e.translated = false;
+    e.llc_miss = false;
+    e.deps_remaining = 0;
     fetched_valid_ = false;
 
     if (e.op.kind == OpKind::kLoad) {

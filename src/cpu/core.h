@@ -8,13 +8,15 @@
 // on LLC-missing loads, attributed per memory object.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "cache/hierarchy.h"
+#include "common/check.h"
 #include "common/event_queue.h"
+#include "common/small_vec.h"
 #include "common/time.h"
 #include "cpu/microop.h"
 #include "os/os.h"
@@ -123,7 +125,9 @@ class Core {
     bool translated = false;
     bool llc_miss = false;
     std::uint8_t deps_remaining = 0;
-    std::vector<std::uint64_t> dependents;  // consumer seq numbers
+    // Consumer seq numbers; ops rarely feed more than a few in-window
+    // consumers, so the inline capacity makes dispatch allocation-free.
+    SmallVec<std::uint64_t, 4> dependents;
   };
   // Delayed micro-events inside the core (ALU completion, page-walk done).
   struct WheelItem {
@@ -133,8 +137,13 @@ class Core {
 
   static constexpr std::uint32_t kWheelSize = 128;
 
+  // The backing array is the ROB capacity rounded up to a power of two, so
+  // the per-access seq->slot map is a mask instead of a 64-bit division
+  // (slot() runs several times per cycle in every pipeline stage). Capacity
+  // checks use params_.rob_entries; any window of <= rob_size consecutive
+  // seqs maps to distinct slots, so occupancy logic is unaffected.
   [[nodiscard]] Entry& slot(std::uint64_t seq) {
-    return rob_[seq % rob_.size()];
+    return rob_[seq & rob_mask_];
   }
   void run_wheel();
   void do_commit();
@@ -160,13 +169,42 @@ class Core {
   EventQueue& events_;
   os::Tlb tlb_;
 
+  // Ready queue as a power-of-two ring buffer. Every ROB entry is enqueued
+  // at most once (make_ready fires once per entry; deferred loads are
+  // popped and re-pushed within one do_issue pass), so occupancy never
+  // exceeds the ROB capacity and the ring never wraps onto itself. Indices
+  // grow monotonically (unsigned wraparound is benign with the mask).
+  [[nodiscard]] bool ready_empty() const {
+    return ready_head_ == ready_tail_;
+  }
+  void ready_push_back(std::uint64_t seq) {
+    ready_buf_[ready_tail_++ & ready_mask_] = seq;
+    MOCA_CHECK(ready_tail_ - ready_head_ <= ready_buf_.size());
+  }
+  void ready_push_front(std::uint64_t seq) {
+    ready_buf_[--ready_head_ & ready_mask_] = seq;
+    MOCA_CHECK(ready_tail_ - ready_head_ <= ready_buf_.size());
+  }
+  std::uint64_t ready_pop_front() {
+    return ready_buf_[ready_head_++ & ready_mask_];
+  }
+
   std::vector<Entry> rob_;
+  std::uint64_t rob_mask_ = 0;    // rob_.size() - 1 (power of two)
   std::uint64_t dispatched_ = 0;  // next seq to dispatch
   std::uint64_t committed_ = 0;   // next seq to commit
   std::uint64_t next_issue_ = 0;  // in-order mode: next seq to issue
   std::uint32_t lq_used_ = 0;
-  std::deque<std::uint64_t> ready_;
+  std::vector<std::uint64_t> ready_buf_;
+  std::uint64_t ready_mask_ = 0;
+  std::uint64_t ready_head_ = 0;
+  std::uint64_t ready_tail_ = 0;
+  // Scratch for do_issue's deferred loads, hoisted out of the per-cycle
+  // loop so its capacity is reused instead of reallocated every cycle.
+  std::vector<std::uint64_t> issue_deferred_;
   std::vector<std::vector<WheelItem>> wheel_;
+  // One bit per wheel bucket: set on schedule, cleared when the bucket runs.
+  std::array<std::uint64_t, kWheelSize / 64> wheel_occ_{};
   MicroOp fetched_;          // one-op fetch buffer (LQ back-pressure)
   bool fetched_valid_ = false;
   std::uint64_t budget_ = 0;

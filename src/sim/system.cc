@@ -181,18 +181,33 @@ RunResult System::run() {
     for (std::size_t i = 0; i < cores_.size(); ++i) {
       cores_[i].core->set_budget(budget_of(i));
     }
-    for (;;) {
-      bool all_done = true;
-      for (std::size_t i = 0; i < cores_.size(); ++i) {
-        if (!cores_[i].core->done()) {
-          all_done = false;
-        } else if (absolute_finish[i] == 0) {
-          absolute_finish[i] = cycle;
+    // Track the still-running cores by index: a finished core drops out
+    // once instead of being re-polled every cycle (stepping a done core is
+    // a no-op, so skipping it is behavior-identical). The per-cycle
+    // run_until stays — with nothing due it is a single cached comparison
+    // in the scheduler.
+    std::vector<std::size_t> running;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (!cores_[i].core->done()) {
+        running.push_back(i);
+      } else if (absolute_finish[i] == 0) {
+        absolute_finish[i] = cycle;
+      }
+    }
+    while (!running.empty()) {
+      events_.run_until(cycle_to_ps(cycle));
+      for (std::size_t r = 0; r < running.size();) {
+        const std::size_t i = running[r];
+        cores_[i].core->step();
+        if (cores_[i].core->done()) {
+          // The previous loop shape observed a finish at the top of the
+          // next iteration — one cycle after the finishing step.
+          if (absolute_finish[i] == 0) absolute_finish[i] = cycle + 1;
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(r));
+        } else {
+          ++r;
         }
       }
-      if (all_done) break;
-      events_.run_until(cycle_to_ps(cycle));
-      for (PerCore& pc : cores_) pc.core->step();
       ++cycle;
       MOCA_CHECK_MSG(cycle < cycle_limit,
                      "simulation exceeded cycle limit (deadlock?)");

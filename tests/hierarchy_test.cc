@@ -241,6 +241,110 @@ TEST(Hierarchy, MissObserverReceivesAttributionContext) {
   EXPECT_FALSE(f.misses[1].is_load);
 }
 
+// Flat MSHR books (PR 2): slots freed by a fill must be reclaimable, so an
+// exactly-full book drains back to empty and fills up again without losing
+// capacity to stale bookkeeping.
+TEST(Hierarchy, L1MshrBookSlotsAreReusedAfterDrain) {
+  Fixture f;  // L1 has 4 MSHRs
+  AccessContext ctx;
+  for (int round = 0; round < 3; ++round) {
+    int completed = 0;
+    for (int i = 0; i < 4; ++i) {
+      // Fresh lines each round so every load is a genuine miss.
+      const std::uint64_t addr =
+          static_cast<std::uint64_t>(round * 4 + i + 1) * 1048576;
+      EXPECT_EQ(f.hier->issue_load(addr, ctx,
+                                   [&completed](TimePs) { ++completed; }),
+                IssueResult::kLlcMiss);
+    }
+    EXPECT_EQ(f.hier->l1_mshrs_in_use(), 4u);
+    EXPECT_EQ(f.hier->issue_load(0xDEAD000, ctx, [](TimePs) {}),
+              IssueResult::kNoMshr);
+    f.events.run_until(f.events.now() + 1'000'000);
+    EXPECT_EQ(completed, 4);
+    EXPECT_EQ(f.hier->l1_mshrs_in_use(), 0u);
+  }
+}
+
+// Deferred L2 misses must replay in arrival order: with a single L2 MSHR
+// every fill drains exactly one deferred request, so completions come back
+// strictly in issue order.
+TEST(Hierarchy, L2DeferredDrainPreservesFifoOrder) {
+  CacheConfig l1 = default_l1d();
+  l1.mshrs = 64;  // L1 never the bottleneck
+  CacheConfig l2 = default_l2();
+  l2.mshrs = 1;
+  Fixture f(l1, l2);
+  AccessContext ctx;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    (void)f.hier->issue_load(static_cast<std::uint64_t>(i + 1) * 1048576,
+                             ctx, [&order, i](TimePs) { order.push_back(i); });
+  }
+  EXPECT_EQ(f.hier->l2_mshrs_in_use(), 1u);
+  EXPECT_EQ(f.hier->deferred_requests(), 4u);
+  f.events.run_until(10'000'000);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(f.hier->deferred_requests(), 0u);
+}
+
+// Under the fused probe, a merged load must join the in-flight miss without
+// touching the hit stats or issuing extra memory traffic — and both waiters
+// complete off the single fill.
+TEST(Hierarchy, MergedLoadUnderFusedProbeRecordsNoHit) {
+  Fixture f;
+  AccessContext ctx;
+  int completions = 0;
+  EXPECT_EQ(f.hier->issue_load(0xA000, ctx,
+                               [&completions](TimePs) { ++completions; }),
+            IssueResult::kLlcMiss);
+  // Same line, different offset: merges into the pending entry and reports
+  // the pending fill's level.
+  EXPECT_EQ(f.hier->issue_load(0xA008, ctx,
+                               [&completions](TimePs) { ++completions; }),
+            IssueResult::kLlcMiss);
+  EXPECT_EQ(f.hier->stats().l1_load_merges, 1u);
+  EXPECT_EQ(f.hier->stats().l1_load_hits, 0u);
+  EXPECT_EQ(f.hier->l1_mshrs_in_use(), 1u);  // one slot serves both
+  f.events.run_until(1'000'000);
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(f.memory_traffic.size(), 1u);
+}
+
+// A store that misses L1 while its line has a fill in flight merges into
+// that entry (dirtying the fill) even when the book is exactly full — the
+// merge needs no new slot. A store to a line with no pending entry goes to
+// L2 and, with the L2 book full, waits in the deferred queue.
+TEST(Hierarchy, StoreMergeNeedsNoSlotWhenBooksAreFull) {
+  CacheConfig l1 = default_l1d();  // 4 MSHRs
+  CacheConfig l2 = default_l2();
+  l2.mshrs = 4;
+  Fixture f(l1, l2);
+  AccessContext ctx;
+  // Consecutive lines: distinct sets in the 2-way L1, so no fill evicts
+  // another and residency checks below are deterministic.
+  for (int i = 0; i < 4; ++i) {
+    (void)f.hier->issue_load(static_cast<std::uint64_t>(i + 1) * 64, ctx,
+                             [](TimePs) {});
+  }
+  EXPECT_EQ(f.hier->l1_mshrs_in_use(), 4u);
+  EXPECT_EQ(f.hier->l2_mshrs_in_use(), 4u);
+  // Merges into the pending fill for line 1: no slot needed, no deferral.
+  f.hier->issue_store(64 + 16, ctx);
+  EXPECT_EQ(f.hier->l1_mshrs_in_use(), 4u);
+  EXPECT_EQ(f.hier->deferred_requests(), 0u);
+  // No pending entry for this line anywhere: needs an L2 slot, so it waits.
+  f.hier->issue_store(0xF00000, ctx);
+  EXPECT_EQ(f.hier->deferred_requests(), 1u);
+  f.events.run_until(10'000'000);
+  EXPECT_EQ(f.hier->deferred_requests(), 0u);
+  // The merged store dirtied the fill for line 1; the deferred store
+  // allocated its line at L2 (write-around keeps it out of L1).
+  EXPECT_TRUE(f.hier->l1().contains(64));
+  EXPECT_TRUE(f.hier->l2().contains(0xF00000));
+  EXPECT_FALSE(f.hier->l1().contains(0xF00000));
+}
+
 TEST(Hierarchy, StatsConservation) {
   Fixture f;
   AccessContext ctx;

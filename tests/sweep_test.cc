@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "common/check.h"
@@ -51,6 +54,45 @@ std::vector<std::string> report_jsons(
     jsons.push_back(sim::to_json(o.result));
   }
   return jsons;
+}
+
+/// Scheduler-swap regression gate: the simulated report JSON for a small
+/// two-app sweep is pinned to golden files generated with the pre-PR-2
+/// binary-heap scheduler. Any change to event execution order — scheduler
+/// internals, hierarchy restructuring, System::run changes — shows up here
+/// as a byte-level diff. Regenerate (only for intentional metric changes)
+/// with: MOCA_UPDATE_GOLDEN=1 ctest -R GoldenReports
+TEST(SweepRunner, GoldenReportsAreByteIdentical) {
+  const std::filesystem::path dir =
+      std::filesystem::path(MOCA_TEST_SOURCE_DIR) / "golden";
+  const sim::Experiment e = small_experiment();
+  const std::vector<sim::SweepJob> jobs = sample_jobs(e);
+  sim::SweepRunner runner(1);
+  const auto db = sim::build_profile_db({"gcc", "disparity"}, e, runner);
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+
+  const bool update = std::getenv("MOCA_UPDATE_GOLDEN") != nullptr;
+  if (update) std::filesystem::create_directories(dir);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    const std::string json = sim::to_json(outcomes[i].result);
+    const std::filesystem::path file =
+        dir / ("report_" + jobs[i].label + "_" +
+               std::string(sim::to_string(jobs[i].choice)) + ".json");
+    if (update) {
+      std::ofstream out(file);
+      out << json << "\n";
+      continue;
+    }
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << "missing golden file " << file
+                           << " (generate with MOCA_UPDATE_GOLDEN=1)";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(json + "\n", want.str())
+        << "simulated metrics diverged from the golden report " << file;
+  }
 }
 
 TEST(SweepRunner, ThreadCountInvariance) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Hot-path performance harness: measures the event scheduler microbench
+# (events/s, allocations per event), the micro_overhead full-simulation
+# benches and a single-job fig08_09 slice, and writes the results to
+# BENCH_hotpath.json. Run it on a quiet machine before and after a change:
+#
+#   tools/bench_hotpath.sh --out /tmp/base.json        # before
+#   tools/bench_hotpath.sh --baseline /tmp/base.json   # after; embeds speedup
+#
+#   --quick   cuts benchmark repetition and the slice's instruction budget
+#             (CI smoke; numbers are NOT comparable to full runs)
+#   --out F   write the report to F (default: BENCH_hotpath.json)
+#
+# docs/perf.md describes the metrics and how to refresh the committed file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_hotpath.json"
+baseline=""
+quick=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out) out=$2; shift 2 ;;
+    --baseline) baseline=$2; shift 2 ;;
+    --quick) quick=1; shift ;;
+    *) echo "usage: $0 [--out FILE] [--baseline FILE] [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+cmake --preset default > /dev/null
+cmake --build --preset default -j "$jobs" \
+  --target micro_eventqueue micro_overhead hotpath_slice > /dev/null
+
+bench_args=(--benchmark_format=json)
+slice_instr=${MOCA_SIM_INSTR:-400000}
+if [ "$quick" = 1 ]; then
+  bench_args+=(--benchmark_min_time=0.05)
+  slice_instr=60000
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "=== micro_eventqueue ===" >&2
+./build/bench/micro_eventqueue "${bench_args[@]}" > "$tmp/eventqueue.json"
+echo "=== micro_overhead ===" >&2
+./build/bench/micro_overhead "${bench_args[@]}" > "$tmp/overhead.json"
+echo "=== hotpath_slice (fig08_09 single job, ${slice_instr} instr) ===" >&2
+MOCA_SIM_INSTR=$slice_instr ./build/tools/hotpath_slice > "$tmp/slice.json"
+
+python3 - "$tmp" "$out" "$baseline" "$quick" <<'PY'
+import json, platform, subprocess, sys
+
+tmp, out, baseline_path, quick = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
+
+def bench(path, name):
+    with open(path) as f:
+        data = json.load(f)
+    for b in data["benchmarks"]:
+        if b["name"] == name:
+            return b
+    raise SystemExit(f"benchmark {name} missing from {path}")
+
+eq_drain = bench(f"{tmp}/eventqueue.json", "BM_FanOutDrain")
+eq_allocs = bench(f"{tmp}/eventqueue.json", "BM_FanOutAllocs")
+eq_self = bench(f"{tmp}/eventqueue.json", "BM_SelfRescheduling")
+eq_far = bench(f"{tmp}/eventqueue.json", "BM_FarFutureMix")
+ov_prof = bench(f"{tmp}/overhead.json", "BM_SimulationWithProfiling")
+ov_noprof = bench(f"{tmp}/overhead.json", "BM_SimulationWithoutProfiling")
+with open(f"{tmp}/slice.json") as f:
+    slice_ = json.load(f)
+
+# micro_overhead simulates a fixed 60K-instruction window per iteration
+# (plus warmup, excluded to keep the metric stable across warmup changes).
+OVERHEAD_INSTR = 60_000
+def per_sec(b):  # real_time is in the benchmark's time_unit
+    unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[b["time_unit"]]
+    return OVERHEAD_INSTR / (b["real_time"] * unit)
+
+current = {
+    "eventqueue_fanout_events_per_s": eq_drain["items_per_second"],
+    "eventqueue_selfresched_events_per_s": eq_self["items_per_second"],
+    "eventqueue_farfuture_events_per_s": eq_far["items_per_second"],
+    "eventqueue_allocs_per_event": eq_allocs["allocs_per_event"],
+    "micro_overhead_profiling_instr_per_s": per_sec(ov_prof),
+    "micro_overhead_noprofiling_instr_per_s": per_sec(ov_noprof),
+    "fig08_09_slice_instr_per_s": slice_["instr_per_s"],
+    "fig08_09_slice_wall_s": slice_["wall_s"],
+    "fig08_09_slice_instructions": slice_["instructions"],
+    "fig08_09_slice_exec_time_ps": slice_["exec_time_ps"],
+    "fig08_09_slice_llc_misses": slice_["llc_misses"],
+}
+
+report = {
+    "schema": "moca-bench-hotpath-v1",
+    "quick_mode": quick == "1",
+    "host": {
+        "machine": platform.machine(),
+        "system": platform.system(),
+    },
+    "current": current,
+}
+if baseline_path:
+    with open(baseline_path) as f:
+        base = json.load(f)["current"]
+    report["baseline"] = base
+    speedup = {}
+    for key in ("eventqueue_fanout_events_per_s",
+                "eventqueue_selfresched_events_per_s",
+                "eventqueue_farfuture_events_per_s",
+                "micro_overhead_profiling_instr_per_s",
+                "micro_overhead_noprofiling_instr_per_s",
+                "fig08_09_slice_instr_per_s"):
+        if base.get(key):
+            speedup[key] = current[key] / base[key]
+    report["speedup"] = speedup
+
+with open(out, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(report, indent=2, sort_keys=True))
+PY

@@ -1,0 +1,55 @@
+// Single-job hot-path timing slice used by tools/bench_hotpath.sh.
+//
+// Runs exactly one cell of the fig08_09 matrix (one app under one memory
+// system, default milc x Homogen-DDR3) on one thread and prints a small JSON
+// record with wall-clock time and simulated instructions per second. The
+// simulated metrics are also emitted so before/after runs can be checked for
+// byte-identical results alongside the timing comparison.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace moca;
+  std::string app = "milc";
+  sim::SystemChoice choice = sim::SystemChoice::kHomogenDdr3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--app" && i + 1 < argc) {
+      app = argv[++i];
+    } else if (arg == "--moca") {
+      choice = sim::SystemChoice::kMoca;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--app NAME] [--moca]\n";
+      return 2;
+    }
+  }
+
+  sim::Experiment experiment = sim::Experiment::from_env();
+  if (std::getenv("MOCA_SIM_INSTR") == nullptr) {
+    experiment.instructions = 400'000;
+  }
+
+  std::map<std::string, core::ClassifiedApp> db;
+  if (choice == sim::SystemChoice::kMoca) {
+    db = sim::build_profile_db({app}, experiment);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::RunResult result = sim::run_single(app, choice, db, experiment);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const double instr = static_cast<double>(result.total_instructions);
+
+  std::cout << "{\"app\":\"" << app << "\",\"system\":\""
+            << sim::to_string(choice) << "\",\"instructions\":"
+            << result.total_instructions << ",\"wall_s\":" << wall_s
+            << ",\"instr_per_s\":" << (wall_s > 0.0 ? instr / wall_s : 0.0)
+            << ",\"exec_time_ps\":" << result.exec_time
+            << ",\"llc_misses\":" << result.total_llc_misses << "}\n";
+  return 0;
+}
