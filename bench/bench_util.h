@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "sim/experiment_options.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "workload/suite.h"
@@ -21,12 +22,16 @@ namespace moca::bench {
 struct BenchEnv {
   sim::Experiment single;
   sim::Experiment multi;
+  /// The full env-derived configuration (jobs, sweep log, trace path) the
+  /// presets were cut from.
+  sim::ExperimentOptions options;
 };
 
 [[nodiscard]] inline BenchEnv bench_env() {
   BenchEnv env;
-  env.single = sim::Experiment::from_env();
-  if (std::getenv("MOCA_SIM_INSTR") == nullptr) {
+  env.options = sim::ExperimentOptions::from_env();
+  env.single = env.options.experiment;
+  if (!env.options.instructions_overridden) {
     env.single.instructions = 800'000;
   }
   // Multi-program runs need the full window too: the B apps' sweeps must
@@ -39,9 +44,7 @@ struct BenchEnv {
 /// hardware_concurrency; per-job progress lines on stderr when
 /// MOCA_SWEEP_LOG is set.
 [[nodiscard]] inline sim::SweepRunner sweep_runner() {
-  sim::SweepRunner runner;
-  if (std::getenv("MOCA_SWEEP_LOG") != nullptr) runner.set_log(&std::cerr);
-  return runner;
+  return sim::ExperimentOptions::from_env().make_runner();
 }
 
 /// Unwraps a sweep outcome, aborting the harness on a failed job.

@@ -64,11 +64,13 @@ BENCHMARK(BM_BareBumpAlloc);
 /// Full-system run with and without the profiling hooks installed. The
 /// paper measures 0.59% average slowdown with profiling on (Sec. IV-E);
 /// compare the two timings below for our equivalent.
-void run_once(bool with_profiling, benchmark::State& state) {
+void run_once(bool with_profiling, benchmark::State& state,
+              std::uint64_t epoch_instructions = 0) {
   for (auto _ : state) {
     sim::SystemOptions options;
     options.instructions_per_core = 60'000;
     options.enable_profiling = with_profiling;
+    options.observability.epoch_instructions = epoch_instructions;
     sim::AppInstance inst;
     inst.spec = workload::app_by_name("milc");
     inst.seed = 99;
@@ -91,6 +93,15 @@ void BM_SimulationWithoutProfiling(benchmark::State& state) {
   run_once(false, state);
 }
 BENCHMARK(BM_SimulationWithoutProfiling)->Unit(benchmark::kMillisecond);
+
+/// Same run with the epoch stat sampler on (10K-instruction epochs): the
+/// probe reads at each snapshot should stay within noise of the
+/// no-profiling baseline, the pay-for-what-you-use contract of
+/// common/stat_registry.h.
+void BM_SimulationWithEpochSampling(benchmark::State& state) {
+  run_once(false, state, /*epoch_instructions=*/10'000);
+}
+BENCHMARK(BM_SimulationWithEpochSampling)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

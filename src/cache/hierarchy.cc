@@ -220,4 +220,17 @@ void MemHierarchy::drain_deferred() {
   }
 }
 
+void MemHierarchy::register_stats(StatRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.counter(prefix + "/loads", &stats_.loads);
+  registry.counter(prefix + "/stores", &stats_.stores);
+  registry.counter(prefix + "/l1_load_hits", &stats_.l1_load_hits);
+  registry.counter(prefix + "/l2_hits", &stats_.l2_hits);
+  registry.counter(prefix + "/llc_misses", &stats_.llc_misses);
+  registry.counter(prefix + "/writebacks", &stats_.writebacks);
+  registry.gauge(prefix + "/mshrs_in_use", [this] {
+    return static_cast<double>(l1_mshr_.size() + l2_mshr_.size());
+  });
+}
+
 }  // namespace moca::cache

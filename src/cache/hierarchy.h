@@ -25,6 +25,7 @@
 #include "common/check.h"
 #include "common/event_queue.h"
 #include "common/small_vec.h"
+#include "common/stat_registry.h"
 #include "common/time.h"
 
 namespace moca::cache {
@@ -181,6 +182,11 @@ class MemHierarchy {
   void enable_next_line_prefetch(std::uint32_t degree) {
     prefetch_degree_ = degree;
   }
+
+  /// Registers this hierarchy's counters under `prefix` (e.g.
+  /// "core0/cache"); probes read the live HierarchyStats fields.
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
 
   [[nodiscard]] const HierarchyStats& stats() const { return stats_; }
   [[nodiscard]] const Cache& l1() const { return l1_; }

@@ -1,0 +1,154 @@
+#include "common/stat_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace moca {
+
+const char* to_string(StatKind kind) {
+  switch (kind) {
+    case StatKind::kCounter:
+      return "counter";
+    case StatKind::kGauge:
+      return "gauge";
+    case StatKind::kRate:
+      return "rate";
+    case StatKind::kRatio:
+      return "ratio";
+  }
+  MOCA_CHECK_MSG(false, "unknown StatKind");
+  return "";
+}
+
+void StatRegistry::add(Stat stat) {
+  MOCA_CHECK_MSG(!stat.path.empty(), "stat path must not be empty");
+  MOCA_CHECK_MSG(!contains(stat.path),
+                 "duplicate stat path '" << stat.path << "'");
+  stats_.push_back(std::move(stat));
+}
+
+void StatRegistry::counter(std::string path, Reader read) {
+  add({std::move(path), StatKind::kCounter, std::move(read), {}, {}, 1.0});
+}
+
+void StatRegistry::counter(std::string path, const std::uint64_t* value) {
+  MOCA_CHECK(value != nullptr);
+  counter(std::move(path),
+          [value] { return static_cast<double>(*value); });
+}
+
+void StatRegistry::gauge(std::string path, Reader read) {
+  add({std::move(path), StatKind::kGauge, std::move(read), {}, {}, 1.0});
+}
+
+void StatRegistry::rate(std::string path, Reader cumulative, double scale) {
+  add({std::move(path), StatKind::kRate, std::move(cumulative), {}, {},
+       scale});
+}
+
+void StatRegistry::ratio(std::string path, std::string numerator,
+                         std::string denominator, double scale) {
+  add({std::move(path), StatKind::kRatio, nullptr, std::move(numerator),
+       std::move(denominator), scale});
+}
+
+bool StatRegistry::contains(const std::string& path) const {
+  for (const Stat& s : stats_) {
+    if (s.path == path) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> StatRegistry::paths() const {
+  std::vector<std::string> out;
+  out.reserve(stats_.size());
+  for (const Stat& s : stats_) out.push_back(s.path);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+EpochSeries::EpochSeries(const StatRegistry& registry) {
+  // Sort by path so the column order (and thus the serialized report) is
+  // independent of registration order.
+  std::vector<const StatRegistry::Stat*> sorted;
+  sorted.reserve(registry.stats().size());
+  for (const StatRegistry::Stat& s : registry.stats()) sorted.push_back(&s);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->path < b->path; });
+
+  const auto index_of = [&](const std::string& path) {
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i]->path == path) return i;
+    }
+    MOCA_CHECK_MSG(false, "ratio operand '" << path
+                                            << "' is not a registered stat");
+    return std::size_t{0};
+  };
+
+  for (const StatRegistry::Stat* s : sorted) {
+    paths_.push_back(s->path);
+    kinds_.push_back(s->kind);
+    Column col;
+    col.kind = s->kind;
+    col.read = s->read;
+    col.scale = s->scale;
+    if (s->kind == StatKind::kRatio) {
+      col.num = index_of(s->num);
+      col.den = index_of(s->den);
+      const StatKind nk = sorted[col.num]->kind;
+      const StatKind dk = sorted[col.den]->kind;
+      MOCA_CHECK_MSG(nk != StatKind::kRatio && dk != StatKind::kRatio,
+                     "ratio '" << s->path
+                               << "' may not reference another ratio");
+    }
+    columns_.push_back(std::move(col));
+  }
+  prev_.assign(columns_.size(), 0.0);
+  cur_.assign(columns_.size(), 0.0);
+}
+
+void EpochSeries::sample(std::uint64_t epoch, TimePs time_ps,
+                         std::uint64_t instructions) {
+  // Pass 1: read every non-ratio probe's cumulative/level value.
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    cur_[i] = columns_[i].kind == StatKind::kRatio ? 0.0
+                                                   : columns_[i].read();
+  }
+
+  EpochRow row;
+  row.epoch = epoch;
+  row.time_ps = time_ps;
+  row.instructions = instructions;
+  row.values.resize(columns_.size());
+  const double dt_s = ps_to_seconds(time_ps - prev_time_);
+
+  // Pass 2: derive the per-epoch value per kind.
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const Column& col = columns_[i];
+    switch (col.kind) {
+      case StatKind::kCounter:
+        row.values[i] = cur_[i] - prev_[i];
+        break;
+      case StatKind::kGauge:
+        row.values[i] = cur_[i];
+        break;
+      case StatKind::kRate:
+        row.values[i] =
+            dt_s == 0.0 ? 0.0 : (cur_[i] - prev_[i]) / dt_s * col.scale;
+        break;
+      case StatKind::kRatio: {
+        const double dn = cur_[col.num] - prev_[col.num];
+        const double dd = cur_[col.den] - prev_[col.den];
+        row.values[i] = dd == 0.0 ? 0.0 : dn / dd * col.scale;
+        break;
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+  prev_.swap(cur_);
+  prev_time_ = time_ps;
+}
+
+}  // namespace moca

@@ -1,0 +1,121 @@
+// Hierarchical statistics registry + epoch time-series sampler.
+//
+// Components register named probes under slash-separated paths
+// ("core0/rob/head_stall_cycles", "mem/RLDRAM3/reads") during system
+// assembly. The registry never touches the simulation hot path: probes are
+// plain read functions over counters the components already maintain, and
+// they are only evaluated when an EpochSeries snapshot fires (every N
+// simulated instructions, driven off the event queue by sim::System). With
+// sampling disabled nothing is registered and nothing is read, so
+// observability is strictly pay-for-what-you-use.
+//
+// Four probe kinds cover the report's needs:
+//  - kCounter  monotonic cumulative value; rows emit the per-epoch delta
+//  - kGauge    instantaneous level (occupancy, live bytes); rows emit it
+//  - kRate     cumulative value emitted as delta per simulated second
+//              (x scale), e.g. module bandwidth in bytes/s
+//  - kRatio    delta(numerator)/delta(denominator) of two other registered
+//              probes (x scale), e.g. per-epoch IPC or MPKI
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace moca {
+
+enum class StatKind : std::uint8_t { kCounter, kGauge, kRate, kRatio };
+
+[[nodiscard]] const char* to_string(StatKind kind);
+
+/// Registration surface. Paths must be unique; duplicates throw CheckError
+/// at registration time so collisions surface during system assembly, not
+/// as silently merged columns in a report.
+class StatRegistry {
+ public:
+  /// Reads the probe's current (cumulative or instantaneous) value.
+  using Reader = std::function<double()>;
+
+  void counter(std::string path, Reader read);
+  /// Convenience overload for plain integer counters; the pointee must
+  /// outlive the registry (component stats structs do).
+  void counter(std::string path, const std::uint64_t* value);
+  void gauge(std::string path, Reader read);
+  void rate(std::string path, Reader cumulative, double scale = 1.0);
+  /// `numerator` / `denominator` name previously or later registered
+  /// cumulative probes (kCounter or kRate); resolved when an EpochSeries is
+  /// built, which throws if either path is missing.
+  void ratio(std::string path, std::string numerator,
+             std::string denominator, double scale = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return stats_.size(); }
+  [[nodiscard]] bool contains(const std::string& path) const;
+  /// Every registered path, sorted (the column order of any EpochSeries).
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  struct Stat {
+    std::string path;
+    StatKind kind = StatKind::kCounter;
+    Reader read;       // unused for kRatio
+    std::string num;   // kRatio only
+    std::string den;   // kRatio only
+    double scale = 1.0;
+  };
+  [[nodiscard]] const std::vector<Stat>& stats() const { return stats_; }
+
+ private:
+  void add(Stat stat);
+
+  std::vector<Stat> stats_;  // registration order; EpochSeries sorts
+};
+
+/// One sampled row of an epoch time-series.
+struct EpochRow {
+  std::uint64_t epoch = 0;         // 0-based sample index
+  TimePs time_ps = 0;              // simulated time of the snapshot
+  std::uint64_t instructions = 0;  // aggregate committed instructions
+  std::vector<double> values;      // parallel to EpochSeries::columns()
+};
+
+/// Accumulating sampler over a frozen view of a StatRegistry. Construction
+/// sorts the registered probes by path and resolves ratio references; each
+/// sample() evaluates every probe once and appends one row of per-epoch
+/// values (deltas for counters/rates, levels for gauges).
+class EpochSeries {
+ public:
+  explicit EpochSeries(const StatRegistry& registry);
+
+  void sample(std::uint64_t epoch, TimePs time_ps,
+              std::uint64_t instructions);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return paths_;
+  }
+  [[nodiscard]] const std::vector<StatKind>& kinds() const { return kinds_; }
+  [[nodiscard]] const std::vector<EpochRow>& rows() const { return rows_; }
+  [[nodiscard]] std::vector<EpochRow> take_rows() {
+    return std::move(rows_);
+  }
+
+ private:
+  struct Column {
+    StatKind kind = StatKind::kCounter;
+    StatRegistry::Reader read;
+    std::size_t num = 0;  // kRatio: column indices of the operands
+    std::size_t den = 0;
+    double scale = 1.0;
+  };
+
+  std::vector<std::string> paths_;
+  std::vector<StatKind> kinds_;
+  std::vector<Column> columns_;
+  std::vector<double> prev_;  // previous cumulative/level per column
+  std::vector<double> cur_;   // scratch for the snapshot being taken
+  TimePs prev_time_ = 0;
+  std::vector<EpochRow> rows_;
+};
+
+}  // namespace moca

@@ -325,4 +325,20 @@ void Core::do_dispatch() {
   }
 }
 
+void Core::register_stats(StatRegistry& registry,
+                          const std::string& prefix) const {
+  registry.counter(prefix + "/instructions", &stats_.committed);
+  registry.counter(prefix + "/cycles",
+                   [this] { return static_cast<double>(stats_.cycles); });
+  registry.counter(prefix + "/loads", &stats_.loads);
+  registry.counter(prefix + "/stores", &stats_.stores);
+  registry.counter(prefix + "/load_llc_misses", &stats_.load_llc_misses);
+  registry.counter(prefix + "/rob/head_stall_cycles", [this] {
+    return static_cast<double>(stats_.rob_head_stall_cycles);
+  });
+  registry.counter(prefix + "/tlb_misses", &stats_.tlb_misses);
+  registry.counter(prefix + "/mshr_reject_cycles",
+                   &stats_.mshr_reject_cycles);
+}
+
 }  // namespace moca::cpu

@@ -17,6 +17,7 @@
 #include "common/check.h"
 #include "common/event_queue.h"
 #include "common/small_vec.h"
+#include "common/stat_registry.h"
 #include "common/time.h"
 #include "cpu/microop.h"
 #include "os/os.h"
@@ -104,6 +105,12 @@ class Core {
   /// translated physical addresses — the handful of accesses in the window
   /// may still hit the old frame, matching real shootdown latency slack.
   void flush_tlb() { tlb_.flush(); }
+
+  /// Registers this core's counters under `prefix` (e.g. "core0"). Probes
+  /// read the live CoreStats fields, so registration itself adds no
+  /// per-cycle cost (see common/stat_registry.h).
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
 
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t id() const { return core_id_; }

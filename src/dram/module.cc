@@ -59,4 +59,26 @@ double MemoryModule::peak_bandwidth_bytes_per_s() const {
   return total;
 }
 
+void MemoryModule::register_stats(StatRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.counter(prefix + "/reads",
+                   [this] { return static_cast<double>(stats().reads); });
+  registry.counter(prefix + "/writes",
+                   [this] { return static_cast<double>(stats().writes); });
+  registry.counter(prefix + "/row_hits",
+                   [this] { return static_cast<double>(stats().row_hits); });
+  registry.counter(prefix + "/activates", [this] {
+    return static_cast<double>(stats().activates());
+  });
+  registry.rate(prefix + "/bandwidth_bytes_per_s", [this] {
+    const ChannelStats s = stats();
+    return static_cast<double>((s.reads + s.writes) * kLineBytes);
+  });
+  // Fraction of wall (simulated) time the data buses spent bursting,
+  // summed over channels — >1.0 means more than one busy channel.
+  registry.rate(prefix + "/bus_utilization", [this] {
+    return ps_to_seconds(stats().bus_busy_ps);
+  });
+}
+
 }  // namespace moca::dram

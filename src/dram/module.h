@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/stat_registry.h"
 #include "dram/address_map.h"
 #include "dram/controller.h"
 #include "dram/timings.h"
@@ -44,6 +45,12 @@ class MemoryModule {
 
   /// Aggregated counters across all channels of the module.
   [[nodiscard]] ChannelStats stats() const;
+
+  /// Registers this module's traffic counters plus derived bandwidth and
+  /// bus-utilization rates under `prefix` (e.g. "mem/RLDRAM"). Probes call
+  /// stats() (a channel aggregation) only when an epoch snapshot fires.
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
 
   /// Average read latency (arrival to data) over completed reads, in ps.
   [[nodiscard]] double avg_access_latency_ps() const;

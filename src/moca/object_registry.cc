@@ -55,4 +55,32 @@ const ObjectInstance* ObjectRegistry::find(os::ProcessId pid,
   return nullptr;
 }
 
+void ObjectRegistry::register_stats(StatRegistry& registry,
+                                    const std::string& prefix) const {
+  registry.counter(prefix + "/registrations", [this] {
+    return static_cast<double>(instances_.size());
+  });
+  for (const os::MemClass c :
+       {os::MemClass::kLatency, os::MemClass::kBandwidth,
+        os::MemClass::kNonIntensive}) {
+    const std::string suffix(1, os::class_letter(c));
+    registry.gauge(prefix + "/live_objects_" + suffix, [this, c] {
+      double n = 0.0;
+      for (const ObjectInstance& inst : instances_) {
+        if (inst.live && inst.placed_class == c) n += 1.0;
+      }
+      return n;
+    });
+    registry.gauge(prefix + "/live_bytes_" + suffix, [this, c] {
+      double bytes = 0.0;
+      for (const ObjectInstance& inst : instances_) {
+        if (inst.live && inst.placed_class == c) {
+          bytes += static_cast<double>(inst.bytes);
+        }
+      }
+      return bytes;
+    });
+  }
+}
+
 }  // namespace moca::core

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stat_registry.h"
 #include "moca/naming.h"
 #include "os/types.h"
 
@@ -50,6 +51,12 @@ class ObjectRegistry {
   /// Marks an instance freed: it stops resolving in find() and its address
   /// range may be reused by a later registration.
   void remove(std::uint64_t id);
+
+  /// Registers the object-class allocation mix under `prefix` (e.g.
+  /// "alloc"): cumulative registrations plus live-object and live-bytes
+  /// gauges per placed class (the L/B/N mix of the paper's LUT).
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
 
  private:
   std::vector<ObjectInstance> instances_;

@@ -113,4 +113,15 @@ void PageMigrator::run_epoch() {
   heat_.clear();
 }
 
+void PageMigrator::register_stats(StatRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.counter(prefix + "/epochs", &stats_.epochs);
+  registry.counter(prefix + "/promotions", &stats_.promotions);
+  registry.counter(prefix + "/demotions", &stats_.demotions);
+  registry.counter(prefix + "/denied_no_space", &stats_.denied_no_space);
+  registry.counter(prefix + "/copied_lines", &stats_.copied_lines);
+  registry.gauge(prefix + "/tracked_pages",
+                 [this] { return static_cast<double>(heat_.size()); });
+}
+
 }  // namespace moca::os

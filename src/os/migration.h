@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stat_registry.h"
 #include "common/time.h"
 #include "os/os.h"
 
@@ -59,6 +60,11 @@ class PageMigrator {
   void set_shootdown_hook(ShootdownHook hook) {
     shootdown_ = std::move(hook);
   }
+
+  /// Registers the daemon's activity counters under `prefix` (e.g.
+  /// "migration") plus a gauge of currently heat-tracked pages.
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
 
   [[nodiscard]] const MigrationStats& stats() const { return stats_; }
   [[nodiscard]] const MigrationConfig& config() const { return config_; }

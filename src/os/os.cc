@@ -130,4 +130,13 @@ Pfn Os::allocate_frame(const PageContext& context) {
   return 0;
 }
 
+void Os::register_stats(StatRegistry& registry,
+                        const std::string& prefix) const {
+  registry.counter(prefix + "/page_faults", &stats_.page_faults);
+  registry.counter(prefix + "/fallback_allocations",
+                   &stats_.fallback_allocations);
+  registry.counter(prefix + "/last_resort_allocations",
+                   &stats_.last_resort_allocations);
+}
+
 }  // namespace moca::os

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/stat_registry.h"
 #include "os/address_space.h"
 #include "os/physical_memory.h"
 #include "os/policy.h"
@@ -65,6 +66,12 @@ class Os {
   /// caller is responsible for modelling copy traffic and TLB shootdown.
   std::optional<RemapResult> try_remap(ProcessId pid, Vpn vpn,
                                        std::uint32_t target_module);
+
+  /// Registers paging/placement counters under `prefix` (e.g. "os"):
+  /// page faults and the fallback/last-resort allocation spill counters of
+  /// the preference chains (Sec. III-C).
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
 
   [[nodiscard]] const OsStats& stats() const { return stats_; }
   [[nodiscard]] PhysicalMemory& physical_memory() { return phys_; }

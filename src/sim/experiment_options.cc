@@ -1,0 +1,145 @@
+#include "sim/experiment_options.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "common/check.h"
+
+namespace moca::sim {
+namespace {
+
+/// Flags every entry point understands (see the header table).
+const std::vector<FlagSpec>& shared_flags() {
+  static const std::vector<FlagSpec> kShared = {
+      {"instr", true},  {"warmup", true}, {"config", true}, {"epoch", true},
+      {"trace-out", true}, {"jobs", true}, {"log", false},
+  };
+  return kShared;
+}
+
+const FlagSpec* find_flag(const std::string& name,
+                          const std::vector<FlagSpec>& extra) {
+  for (const FlagSpec& spec : shared_flags()) {
+    if (spec.name == name) return &spec;
+  }
+  for (const FlagSpec& spec : extra) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  MOCA_CHECK_MSG(end != text.c_str() && *end == '\0',
+                 what << " needs a number, got '" << text << "'");
+  return value;
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return parse_u64(value, name);
+}
+
+}  // namespace
+
+std::string ParsedArgs::get(const std::string& f, std::string fallback) const {
+  const auto it = flags.find(f);
+  return it == flags.end() ? std::move(fallback) : it->second;
+}
+
+std::uint64_t ParsedArgs::get_u64(const std::string& f,
+                                  std::uint64_t fallback) const {
+  const auto it = flags.find(f);
+  if (it == flags.end()) return fallback;
+  return parse_u64(it->second, "flag --" + f);
+}
+
+ParsedArgs parse_args(int argc, char** argv, int start,
+                      const std::vector<FlagSpec>& extra) {
+  ParsedArgs args;
+  for (int i = start; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional.push_back(token);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    const FlagSpec* spec = find_flag(name, extra);
+    MOCA_CHECK_MSG(spec != nullptr, "unknown flag --" << name);
+    if (!spec->takes_value) {
+      args.flags[name] = "1";
+      continue;
+    }
+    MOCA_CHECK_MSG(i + 1 < argc, "flag --" << name << " needs a value");
+    args.flags[name] = argv[++i];
+  }
+  return args;
+}
+
+ExperimentOptions ExperimentOptions::from_env() {
+  ExperimentOptions options;
+  if (const auto v = env_u64("MOCA_SIM_INSTR")) {
+    MOCA_CHECK_MSG(*v > 0, "MOCA_SIM_INSTR must be a positive integer");
+    options.experiment.instructions = *v;
+    options.instructions_overridden = true;
+  }
+  if (const auto v = env_u64("MOCA_SIM_WARMUP")) {
+    options.experiment.warmup = *v;
+  }
+  if (const auto v = env_u64("MOCA_SIM_CONFIG")) {
+    options.experiment.hetero_config = static_cast<int>(*v);
+  }
+  if (const auto v = env_u64("MOCA_SIM_EPOCH")) {
+    options.experiment.observability.epoch_instructions = *v;
+  }
+  if (const char* trace = std::getenv("MOCA_SIM_TRACE");
+      trace != nullptr && *trace != '\0') {
+    options.trace_out = trace;
+    options.experiment.observability.trace = true;
+  }
+  if (const auto v = env_u64("MOCA_SIM_JOBS")) {
+    options.jobs = static_cast<unsigned>(*v);
+  }
+  if (std::getenv("MOCA_SWEEP_LOG") != nullptr) options.sweep_log = true;
+  return options;
+}
+
+void ExperimentOptions::apply_flags(const ParsedArgs& args) {
+  if (args.has("instr")) {
+    const std::uint64_t value = args.get_u64("instr", 0);
+    MOCA_CHECK_MSG(value > 0, "flag --instr must be positive");
+    experiment.instructions = value;
+    instructions_overridden = true;
+  }
+  if (args.has("warmup")) {
+    experiment.warmup = args.get_u64("warmup", experiment.warmup);
+  }
+  if (args.has("config")) {
+    experiment.hetero_config = static_cast<int>(
+        args.get_u64("config", experiment.hetero_config));
+  }
+  if (args.has("epoch")) {
+    experiment.observability.epoch_instructions =
+        args.get_u64("epoch", experiment.observability.epoch_instructions);
+  }
+  if (args.has("trace-out")) {
+    trace_out = args.get("trace-out");
+    MOCA_CHECK_MSG(!trace_out.empty(), "flag --trace-out needs a file path");
+    experiment.observability.trace = true;
+  }
+  if (args.has("jobs")) {
+    jobs = static_cast<unsigned>(args.get_u64("jobs", jobs));
+  }
+  if (args.has("log")) sweep_log = true;
+}
+
+SweepRunner ExperimentOptions::make_runner() const {
+  SweepRunner runner(jobs);
+  if (sweep_log) runner.set_log(&std::cerr);
+  return runner;
+}
+
+}  // namespace moca::sim

@@ -1,0 +1,50 @@
+// Run-time observability settings and results (stat time-series + trace).
+//
+// ObservabilityOptions travels inside sim::Experiment so sweep jobs carry it
+// unchanged through the parallel SweepRunner; ObservabilityResult travels
+// inside RunResult so reports, sweeps and the CLI all see the same data.
+// Everything here is derived purely from simulated state, so results are
+// byte-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/chrome_trace.h"
+#include "common/stat_registry.h"
+#include "common/time.h"
+
+namespace moca::sim {
+
+struct ObservabilityOptions {
+  /// Epoch length of the stat sampler in committed instructions (aggregate
+  /// across cores); 0 disables sampling entirely — nothing is registered,
+  /// nothing is read, the hot path is untouched.
+  std::uint64_t epoch_instructions = 0;
+  /// Collect phase-level Chrome trace events (warmup end, epoch
+  /// boundaries, migration bursts, fallback-chain spills).
+  bool trace = false;
+
+  [[nodiscard]] bool enabled() const {
+    return epoch_instructions > 0 || trace;
+  }
+};
+
+/// Observability output of one run. Empty (default-constructed) when the
+/// run had observability disabled.
+struct ObservabilityResult {
+  std::uint64_t epoch_instructions = 0;
+  /// Stat paths, sorted; one column per registered probe.
+  std::vector<std::string> columns;
+  std::vector<StatKind> kinds;  // parallel to columns
+  std::vector<EpochRow> rows;
+  std::vector<ChromeTraceEvent> trace;
+  /// End of the warm-up phase (0 when no warmup ran); time-series rows
+  /// before this timestamp cover the warm-up window.
+  TimePs warmup_end_ps = 0;
+
+  [[nodiscard]] bool has_timeseries() const { return !columns.empty(); }
+};
+
+}  // namespace moca::sim

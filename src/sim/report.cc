@@ -5,10 +5,40 @@
 namespace moca::sim {
 namespace {
 
+/// Emits the observability time-series block (schema v2, additive).
+void write_timeseries(JsonWriter& w, const ObservabilityResult& ts) {
+  w.begin_object();
+  w.key("epoch_instructions").value(ts.epoch_instructions);
+  w.key("warmup_end_ps")
+      .value(static_cast<std::uint64_t>(ts.warmup_end_ps));
+  w.key("columns").begin_array();
+  for (std::size_t i = 0; i < ts.columns.size(); ++i) {
+    w.begin_object();
+    w.key("path").value(ts.columns[i]);
+    w.key("kind").value(to_string(ts.kinds[i]));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const EpochRow& row : ts.rows) {
+    w.begin_object();
+    w.key("epoch").value(row.epoch);
+    w.key("time_ps").value(static_cast<std::uint64_t>(row.time_ps));
+    w.key("instructions").value(row.instructions);
+    w.key("values").begin_array();
+    for (const double v : row.values) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 /// Emits the RunResult object body into an already-open writer so the same
 /// serialization backs both the standalone report and the per-job wrapper.
 void write_run_result(JsonWriter& w, const RunResult& r) {
   w.begin_object();
+  w.key("schema_version").value(kReportSchemaVersion);
   w.key("memory_system").value(r.memsys_name);
   w.key("policy").value(r.policy_name);
   w.key("exec_time_ps").value(static_cast<std::uint64_t>(r.exec_time));
@@ -64,6 +94,10 @@ void write_run_result(JsonWriter& w, const RunResult& r) {
     w.key("demotions").value(r.migration.demotions);
     w.key("copied_lines").value(r.migration.copied_lines);
     w.end_object();
+  }
+  if (r.observability.has_timeseries()) {
+    w.key("timeseries");
+    write_timeseries(w, r.observability);
   }
   w.end_object();
 }

@@ -1,6 +1,7 @@
 // Machine-readable reports of simulation results.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,8 +10,19 @@
 
 namespace moca::sim {
 
+/// Report schema version, the first key of every run-result object.
+/// History:
+///   1 (implicit) — original report, no version field
+///   2 — adds "schema_version" plus the optional additive "timeseries"
+///       block (epoch sampler columns/rows, see docs/observability.md)
+/// Consumers should accept unknown keys; bumps are additive-only unless a
+/// key's meaning changes.
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
+
 /// Serializes a RunResult as a JSON document (per-core, per-module and
-/// aggregate metrics; migration stats when the daemon ran).
+/// aggregate metrics; migration stats when the daemon ran; the epoch
+/// time-series when sampling was on). Trace events are NOT embedded —
+/// entry points write them to a separate Chrome-trace file.
 [[nodiscard]] std::string to_json(const RunResult& result);
 
 /// Serializes one sweep job outcome: job id, label, error state and

@@ -134,6 +134,7 @@ RunResult run_workload(const std::vector<std::string>& app_names,
   SystemOptions options;
   options.instructions_per_core = experiment.instructions;
   options.warmup_instructions = experiment.effective_warmup();
+  options.observability = experiment.observability;
 
   std::vector<AppInstance> instances;
   for (std::size_t i = 0; i < app_names.size(); ++i) {
@@ -165,6 +166,7 @@ RunResult run_workload_with_migration(
   SystemOptions options;
   options.instructions_per_core = experiment.instructions;
   options.warmup_instructions = experiment.effective_warmup();
+  options.observability = experiment.observability;
   options.migration = migration;
 
   std::vector<AppInstance> instances;

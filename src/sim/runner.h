@@ -10,6 +10,7 @@
 #include "moca/classifier.h"
 #include "moca/profile.h"
 #include "os/policy.h"
+#include "sim/observability.h"
 #include "sim/system.h"
 #include "workload/suite.h"
 
@@ -44,8 +45,13 @@ struct Experiment {
   /// Table III's app classes on this suite (DESIGN.md §6).
   core::Thresholds app_thresholds{5.0, 20.0};
   int hetero_config = 1;  // paper default (Sec. VI-C)
+  /// Epoch sampling / phase tracing for the measured runs (profiling runs
+  /// always leave it off). Carried through sweep jobs unchanged.
+  ObservabilityOptions observability;
 
-  /// Reads MOCA_SIM_INSTR from the environment if set.
+  /// Legacy env overlay (MOCA_SIM_INSTR only). Entry points should use the
+  /// full ExperimentOptions::from_env() parser instead; this remains as a
+  /// shim for code that needs just the instruction-budget override.
   static Experiment from_env();
 
   /// Warm-up used by the runner: a quarter of the measured window, clamped

@@ -40,7 +40,11 @@ struct SweepOutcome {
   std::string label;
   bool ok = false;
   std::string error;  // what() of the captured exception when !ok
-  RunResult result;   // valid only when ok
+  /// Valid only when ok. Includes the job's observability payload
+  /// (epoch time-series + trace events) when the experiment enabled it;
+  /// like every simulated metric it is byte-identical for any worker
+  /// count (docs/observability.md).
+  RunResult result;
   /// Host-side observability (not part of the simulated metrics; excluded
   /// from determinism comparisons).
   double wall_ms = 0.0;

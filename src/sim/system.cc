@@ -128,6 +128,104 @@ System::System(const MemSystemConfig& memsys,
     cores_.push_back(std::move(pc));
   }
   pretouch_pages();
+  if (options_.observability.enabled()) register_observability();
+}
+
+std::uint64_t System::total_committed() const {
+  std::uint64_t total = 0;
+  for (const PerCore& pc : cores_) total += pc.core->stats().committed;
+  return total;
+}
+
+void System::register_observability() {
+  if (options_.observability.epoch_instructions > 0) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      const std::string prefix = "core" + std::to_string(i);
+      cores_[i].core->register_stats(stat_registry_, prefix);
+      cores_[i].hierarchy->register_stats(stat_registry_, prefix + "/cache");
+      // Cross-component derived metrics live here because no single
+      // component sees both operands.
+      stat_registry_.ratio(prefix + "/ipc", prefix + "/instructions",
+                           prefix + "/cycles");
+      stat_registry_.ratio(prefix + "/mpki", prefix + "/cache/llc_misses",
+                           prefix + "/instructions", 1000.0);
+    }
+    for (std::uint32_t m = 0; m < phys_.module_count(); ++m) {
+      const dram::MemoryModule& module = phys_.module(m);
+      const std::string prefix = "mem/" + module.name();
+      module.register_stats(stat_registry_, prefix);
+      stat_registry_.gauge(prefix + "/frames_used", [this, m] {
+        return static_cast<double>(phys_.allocator(m).used_frames());
+      });
+    }
+    os_->register_stats(stat_registry_, "os");
+    registry_.register_stats(stat_registry_, "alloc");
+    if (migrator_ != nullptr) {
+      migrator_->register_stats(stat_registry_, "migration");
+    }
+    series_ = std::make_unique<EpochSeries>(stat_registry_);
+    next_epoch_boundary_ = options_.observability.epoch_instructions;
+  }
+
+  // Periodic, self-rescheduling observability tick (same pattern as the
+  // migration epochs). The quantum trades boundary precision against event
+  // count: a quarter epoch while sampling means a boundary fires at most
+  // ~N/4 instructions late at IPC 1; trace-only runs need just a coarse
+  // pulse to detect migration bursts and fallback spills.
+  struct Tick {
+    System* system;
+    TimePs period;
+    void operator()() const {
+      system->epoch_tick();
+      if (!system->sampling_stopped_) {
+        system->events_.schedule(system->events_.now() + period, *this);
+      }
+    }
+  };
+  const std::uint64_t n = options_.observability.epoch_instructions;
+  const Cycle quantum =
+      n > 0 ? std::max<Cycle>(1000, static_cast<Cycle>(n / 4)) : 10'000;
+  const TimePs period = quantum * kCpuCyclePs;
+  events_.schedule(period, Tick{this, period});
+}
+
+void System::epoch_tick() {
+  if (sampling_stopped_) return;
+  if (options_.observability.trace) {
+    const os::OsStats& os_stats = os_->stats();
+    const std::uint64_t fallbacks =
+        os_stats.fallback_allocations + os_stats.last_resort_allocations;
+    if (fallbacks > traced_fallbacks_) {
+      trace_.instant("fallback_spill", "os", events_.now(),
+                     {{"spills", fallbacks - traced_fallbacks_}});
+      traced_fallbacks_ = fallbacks;
+    }
+    if (migrator_ != nullptr) {
+      const os::MigrationStats& ms = migrator_->stats();
+      const std::uint64_t moves = ms.promotions + ms.demotions;
+      if (moves > traced_migrations_) {
+        trace_.instant("migration_burst", "migration", events_.now(),
+                       {{"promotions", ms.promotions},
+                        {"demotions", ms.demotions}});
+        traced_migrations_ = moves;
+      }
+    }
+  }
+  if (series_ != nullptr) {
+    const std::uint64_t total = total_committed();
+    if (total >= next_epoch_boundary_) {
+      series_->sample(epoch_index_, events_.now(), total);
+      if (options_.observability.trace) {
+        trace_.instant("epoch", "sampler", events_.now(),
+                       {{"epoch", epoch_index_}, {"instructions", total}});
+      }
+      ++epoch_index_;
+      const std::uint64_t n = options_.observability.epoch_instructions;
+      // Skip boundaries the quantum jumped over instead of emitting a
+      // train of all-zero rows.
+      next_epoch_boundary_ = total - total % n + n;
+    }
+  }
 }
 
 void System::pretouch_pages() {
@@ -231,6 +329,9 @@ RunResult System::run() {
     }
     profiler_.reset();
     std::fill(absolute_finish.begin(), absolute_finish.end(), Cycle{0});
+    if (options_.observability.trace) {
+      trace_.instant("warmup_end", "phase", cycle_to_ps(warmup_end));
+    }
   }
 
   // Measured phase.
@@ -238,6 +339,24 @@ RunResult System::run() {
     return cores_[i].core->stats().committed +
            options_.instructions_per_core;
   });
+  const Cycle measured_end = cycle;
+  if (series_ != nullptr) {
+    // Close the last (possibly partial) epoch so even runs shorter than
+    // one epoch produce a non-empty time-series.
+    const std::uint64_t total = total_committed();
+    if (series_->rows().empty() ||
+        series_->rows().back().instructions < total) {
+      series_->sample(epoch_index_++, cycle_to_ps(measured_end), total);
+    }
+  }
+  if (options_.observability.trace) {
+    trace_.complete("measured", "phase", cycle_to_ps(warmup_end),
+                    cycle_to_ps(measured_end - warmup_end));
+  }
+  // Stop sampling before the drain: the tick already scheduled fires once
+  // more, sees the flag and does not reschedule, so the drain window adds
+  // no rows or events.
+  sampling_stopped_ = true;
   // Drain in-flight memory traffic so module counters are complete; the
   // drain happens after every finish timestamp, so no metric includes it.
   events_.run_until(cycle_to_ps(cycle) + 50'000'000);
@@ -289,6 +408,18 @@ RunResult System::run() {
     activity.l2_accesses = cr.hierarchy.l2_accesses;
     result.core_energy_j +=
         power::core_energy_joules(options_.core_power, activity);
+  }
+
+  if (options_.observability.enabled()) {
+    result.observability.epoch_instructions =
+        options_.observability.epoch_instructions;
+    result.observability.warmup_end_ps = cycle_to_ps(warmup_end);
+    if (series_ != nullptr) {
+      result.observability.columns = series_->columns();
+      result.observability.kinds = series_->kinds();
+      result.observability.rows = series_->take_rows();
+    }
+    result.observability.trace = trace_.take();
   }
   return result;
 }

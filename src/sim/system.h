@@ -20,6 +20,7 @@
 #include "power/core_power.h"
 #include "power/dram_power.h"
 #include "sim/config.h"
+#include "sim/observability.h"
 #include "workload/app_stream.h"
 
 namespace moca::sim {
@@ -44,6 +45,9 @@ struct SystemOptions {
   /// Next-line prefetch degree at L2 (0 = off, the paper's machine).
   std::uint32_t prefetch_degree = 0;
   power::CorePowerParams core_power;
+  /// Epoch stat sampling + phase tracing; disabled by default, in which
+  /// case no probes are registered and run() behaves exactly as before.
+  ObservabilityOptions observability;
 };
 
 /// One application bound to one core.
@@ -85,6 +89,8 @@ struct RunResult {
   double core_energy_j = 0.0;
   std::uint64_t total_instructions = 0;
   std::uint64_t total_llc_misses = 0;
+  /// Epoch time-series + trace events; empty when observability was off.
+  ObservabilityResult observability;
 
   /// Memory EDP = memory energy x total memory access time (Sec. VI-A).
   [[nodiscard]] double memory_edp() const;
@@ -128,6 +134,15 @@ class System {
   /// First-touches every page in allocation/program order (see .cc).
   void pretouch_pages();
 
+  /// Wires every component's probes into stat_registry_ and schedules the
+  /// self-rescheduling epoch tick. Only called when observability is on.
+  void register_observability();
+  /// Periodic observability check: emits at most one time-series row per
+  /// tick once the aggregate instruction count crosses the next epoch
+  /// boundary, plus trace instants for migration bursts / fallback spills.
+  void epoch_tick();
+  [[nodiscard]] std::uint64_t total_committed() const;
+
   MemSystemConfig memsys_;
   SystemOptions options_;
   std::vector<AppInstance> apps_;
@@ -140,6 +155,18 @@ class System {
   core::ObjectRegistry registry_;
   core::Profiler profiler_;
   std::vector<PerCore> cores_;
+
+  // Observability state (inert unless options_.observability.enabled()).
+  StatRegistry stat_registry_;
+  std::unique_ptr<EpochSeries> series_;
+  ChromeTrace trace_;
+  std::uint64_t next_epoch_boundary_ = 0;
+  std::uint64_t epoch_index_ = 0;
+  /// Set before the post-run drain so tick events scheduled past the end
+  /// of the measured phase become no-ops.
+  bool sampling_stopped_ = false;
+  std::uint64_t traced_fallbacks_ = 0;
+  std::uint64_t traced_migrations_ = 0;
 };
 
 }  // namespace moca::sim

@@ -98,6 +98,23 @@ TEST(Report, RunResultJsonContainsCoreAndModuleRecords) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(Report, SchemaVersionLeadsEverySerialization) {
+  sim::Experiment e;
+  e.instructions = 60'000;
+  const std::map<std::string, core::ClassifiedApp> db;
+  const sim::RunResult r =
+      sim::run_single("gcc", sim::SystemChoice::kHomogenDdr3, db, e);
+  // First key of the run-result object, so consumers can dispatch on it
+  // before reading anything else.
+  EXPECT_EQ(sim::to_json(r).rfind("{\"schema_version\":2,", 0), 0u);
+
+  sim::SweepOutcome outcome;
+  outcome.ok = true;
+  outcome.result = r;
+  EXPECT_NE(sim::to_json(outcome).find("\"schema_version\":2"),
+            std::string::npos);
+}
+
 TEST(Report, MigrationBlockOnlyWhenDaemonRan) {
   sim::Experiment e;
   e.instructions = 100'000;

@@ -1,9 +1,15 @@
-// Tests for the workload-spec text format and the latency histogram.
+// Tests for the workload-spec text format, the shared command-line parser
+// and the latency histogram.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/event_queue.h"
 #include "dram/controller.h"
 #include "moca/naming.h"
+#include "sim/experiment_options.h"
 #include "workload/parse.h"
 #include "workload/suite.h"
 
@@ -113,6 +119,87 @@ TEST(Parse, CommentsAndBlankLinesIgnored)
 
 }  // namespace
 }  // namespace moca::workload
+
+namespace moca::sim {
+namespace {
+
+/// argv adapter: parse_args wants char**, tests want string literals.
+ParsedArgs parse_vec(std::vector<std::string> tokens,
+                     const std::vector<FlagSpec>& extra = {}) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("test"));
+  for (std::string& t : tokens) argv.push_back(t.data());
+  return parse_args(static_cast<int>(argv.size()), argv.data(), 1, extra);
+}
+
+TEST(ParseArgs, SplitsPositionalsAndFlags) {
+  const ParsedArgs args =
+      parse_vec({"run", "milc", "--instr", "5000", "--log"});
+  EXPECT_EQ(args.positional,
+            (std::vector<std::string>{"run", "milc"}));
+  EXPECT_EQ(args.get_u64("instr", 0), 5000u);
+  EXPECT_TRUE(args.has("log"));
+  EXPECT_EQ(args.get_u64("jobs", 7), 7u);  // fallback when absent
+}
+
+TEST(ParseArgs, UnknownFlagThrowsInsteadOfEatingNextToken) {
+  // The old per-tool parsers treated any unknown --flag as value-taking, so
+  // "--jsonx run" silently swallowed "run" as its value.
+  EXPECT_THROW((void)parse_vec({"--jsonx", "run"}), CheckError);
+  EXPECT_THROW((void)parse_vec({"--no-such-flag"}), CheckError);
+}
+
+TEST(ParseArgs, ExtraFlagsExtendTheSharedSet) {
+  EXPECT_THROW((void)parse_vec({"--json"}), CheckError);
+  const ParsedArgs args = parse_vec({"--json", "run"}, {{"json", false}});
+  EXPECT_TRUE(args.has("json"));
+  // Bare flag: "run" stays positional instead of becoming its value.
+  EXPECT_EQ(args.positional, (std::vector<std::string>{"run"}));
+}
+
+TEST(ParseArgs, MissingValueOrBadNumberThrows) {
+  EXPECT_THROW((void)parse_vec({"--instr"}), CheckError);
+  const ParsedArgs args = parse_vec({"--instr", "abc"});
+  EXPECT_THROW((void)args.get_u64("instr", 0), CheckError);
+}
+
+TEST(ExperimentOptionsTest, FlagBeatsEnvBeatsDefault) {
+  setenv("MOCA_SIM_INSTR", "111000", 1);
+  setenv("MOCA_SIM_EPOCH", "2000", 1);
+  ExperimentOptions env_only = ExperimentOptions::from_env();
+  EXPECT_EQ(env_only.experiment.instructions, 111'000u);
+  EXPECT_EQ(env_only.experiment.observability.epoch_instructions, 2000u);
+  EXPECT_TRUE(env_only.instructions_overridden);
+
+  ExperimentOptions overridden = ExperimentOptions::from_env();
+  overridden.apply_flags(parse_vec({"--instr", "222000", "--epoch", "0"}));
+  EXPECT_EQ(overridden.experiment.instructions, 222'000u);
+  EXPECT_EQ(overridden.experiment.observability.epoch_instructions, 0u);
+
+  unsetenv("MOCA_SIM_INSTR");
+  unsetenv("MOCA_SIM_EPOCH");
+  const ExperimentOptions defaults = ExperimentOptions::from_env();
+  EXPECT_FALSE(defaults.instructions_overridden);
+  EXPECT_FALSE(defaults.experiment.observability.enabled());
+}
+
+TEST(ExperimentOptionsTest, TraceOutEnablesTracing) {
+  unsetenv("MOCA_SIM_TRACE");
+  ExperimentOptions options = ExperimentOptions::from_env();
+  EXPECT_FALSE(options.experiment.observability.trace);
+  options.apply_flags(parse_vec({"--trace-out", "/tmp/t.json"}));
+  EXPECT_TRUE(options.experiment.observability.trace);
+  EXPECT_EQ(options.trace_out, "/tmp/t.json");
+
+  setenv("MOCA_SIM_TRACE", "/tmp/env.json", 1);
+  const ExperimentOptions from_env = ExperimentOptions::from_env();
+  EXPECT_TRUE(from_env.experiment.observability.trace);
+  EXPECT_EQ(from_env.trace_out, "/tmp/env.json");
+  unsetenv("MOCA_SIM_TRACE");
+}
+
+}  // namespace
+}  // namespace moca::sim
 
 namespace moca::dram {
 namespace {

@@ -68,6 +68,7 @@ eq_self = bench(f"{tmp}/eventqueue.json", "BM_SelfRescheduling")
 eq_far = bench(f"{tmp}/eventqueue.json", "BM_FarFutureMix")
 ov_prof = bench(f"{tmp}/overhead.json", "BM_SimulationWithProfiling")
 ov_noprof = bench(f"{tmp}/overhead.json", "BM_SimulationWithoutProfiling")
+ov_epoch = bench(f"{tmp}/overhead.json", "BM_SimulationWithEpochSampling")
 with open(f"{tmp}/slice.json") as f:
     slice_ = json.load(f)
 
@@ -85,6 +86,7 @@ current = {
     "eventqueue_allocs_per_event": eq_allocs["allocs_per_event"],
     "micro_overhead_profiling_instr_per_s": per_sec(ov_prof),
     "micro_overhead_noprofiling_instr_per_s": per_sec(ov_noprof),
+    "micro_overhead_epochsampling_instr_per_s": per_sec(ov_epoch),
     "fig08_09_slice_instr_per_s": slice_["instr_per_s"],
     "fig08_09_slice_wall_s": slice_["wall_s"],
     "fig08_09_slice_instructions": slice_["instructions"],

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validates a schema-v2 simulator report (and optionally a Chrome trace).
+
+CI smoke for the observability layer: run a small slice with sampling on,
+then check the emitted JSON is well-formed and actually carries the
+time-series the flags asked for.
+
+  tools/check_report.py report.json --require-timeseries --trace trace.json
+
+Exits non-zero with a message on the first violation.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 2
+KINDS = {"counter", "gauge", "rate", "ratio"}
+
+
+def fail(msg):
+    print(f"check_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_timeseries(ts):
+    cols = ts.get("columns")
+    rows = ts.get("rows")
+    if not cols:
+        fail("timeseries.columns is empty")
+    if not rows:
+        fail("timeseries.rows is empty")
+    if ts.get("epoch_instructions", 0) <= 0:
+        fail("timeseries.epoch_instructions must be positive")
+
+    paths = []
+    for col in cols:
+        if "path" not in col or col.get("kind") not in KINDS:
+            fail(f"malformed column record: {col}")
+        paths.append(col["path"])
+    if paths != sorted(paths):
+        fail("columns are not sorted by path")
+    if len(set(paths)) != len(paths):
+        fail("duplicate column paths")
+    if "core0/ipc" not in paths:
+        fail("per-core IPC column (core0/ipc) missing")
+    if not any(p.startswith("mem/") and p.endswith("/bandwidth_bytes_per_s")
+               for p in paths):
+        fail("per-module bandwidth column missing")
+
+    prev_instr = -1
+    for i, row in enumerate(rows):
+        if row.get("epoch") != i:
+            fail(f"row {i} has epoch {row.get('epoch')}")
+        if len(row.get("values", [])) != len(cols):
+            fail(f"row {i} has {len(row.get('values', []))} values, "
+                 f"expected {len(cols)}")
+        if row["instructions"] <= prev_instr:
+            fail(f"row {i} instructions not strictly increasing")
+        prev_instr = row["instructions"]
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not events:
+        fail(f"{path}: traceEvents missing or empty")
+    for ev in events:
+        if ev.get("ph") not in ("i", "X") or "ts" not in ev:
+            fail(f"{path}: malformed trace event: {ev}")
+    names = {ev["name"] for ev in events}
+    if "measured" not in names:
+        fail(f"{path}: 'measured' phase event missing")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="schema-v2 run-result JSON file")
+    parser.add_argument("--require-timeseries", action="store_true",
+                        help="fail unless a non-empty timeseries is present")
+    parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        fail(f"schema_version is {version!r}, expected {SCHEMA_VERSION}")
+
+    ts = report.get("timeseries")
+    if args.require_timeseries and ts is None:
+        fail("timeseries block missing")
+    if ts is not None:
+        check_timeseries(ts)
+    if args.trace:
+        check_trace(args.trace)
+    print("check_report: OK")
+
+
+if __name__ == "__main__":
+    main()

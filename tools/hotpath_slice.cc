@@ -5,34 +5,43 @@
 // record with wall-clock time and simulated instructions per second. The
 // simulated metrics are also emitted so before/after runs can be checked for
 // byte-identical results alongside the timing comparison.
+//
+// Doubles as the observability smoke vehicle: --epoch/--trace-out (or
+// MOCA_SIM_EPOCH/MOCA_SIM_TRACE) enable sampling, and --report FILE writes
+// the full schema-v2 JSON report for tools/check_report.py.
 #include <chrono>
-#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/check.h"
+#include "common/chrome_trace.h"
+#include "sim/experiment_options.h"
 #include "sim/report.h"
 #include "sim/runner.h"
 
 int main(int argc, char** argv) {
   using namespace moca;
-  std::string app = "milc";
-  sim::SystemChoice choice = sim::SystemChoice::kHomogenDdr3;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--app" && i + 1 < argc) {
-      app = argv[++i];
-    } else if (arg == "--moca") {
-      choice = sim::SystemChoice::kMoca;
-    } else {
-      std::cerr << "usage: " << argv[0] << " [--app NAME] [--moca]\n";
-      return 2;
-    }
+  sim::ParsedArgs args;
+  try {
+    args = sim::parse_args(argc, argv, 1,
+                           {{"app", true}, {"moca", false},
+                            {"report", true}});
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << "\nusage: " << argv[0]
+              << " [--app NAME] [--moca] [--report FILE] [--epoch N]"
+                 " [--trace-out FILE] [--instr N]\n";
+    return 2;
   }
+  const std::string app = args.get("app", "milc");
+  const sim::SystemChoice choice = args.has("moca")
+                                       ? sim::SystemChoice::kMoca
+                                       : sim::SystemChoice::kHomogenDdr3;
 
-  sim::Experiment experiment = sim::Experiment::from_env();
-  if (std::getenv("MOCA_SIM_INSTR") == nullptr) {
-    experiment.instructions = 400'000;
-  }
+  sim::ExperimentOptions options = sim::ExperimentOptions::from_env();
+  options.apply_flags(args);
+  sim::Experiment& experiment = options.experiment;
+  if (!options.instructions_overridden) experiment.instructions = 400'000;
 
   std::map<std::string, core::ClassifiedApp> db;
   if (choice == sim::SystemChoice::kMoca) {
@@ -51,5 +60,16 @@ int main(int argc, char** argv) {
             << ",\"instr_per_s\":" << (wall_s > 0.0 ? instr / wall_s : 0.0)
             << ",\"exec_time_ps\":" << result.exec_time
             << ",\"llc_misses\":" << result.total_llc_misses << "}\n";
+
+  if (args.has("report")) {
+    std::ofstream out(args.get("report"));
+    MOCA_CHECK_MSG(out.good(), "cannot write " << args.get("report"));
+    out << sim::to_json(result) << '\n';
+  }
+  if (!options.trace_out.empty()) {
+    std::ofstream out(options.trace_out);
+    MOCA_CHECK_MSG(out.good(), "cannot write " << options.trace_out);
+    out << chrome_trace_json(result.observability.trace) << '\n';
+  }
   return 0;
 }

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/chrome_trace.h"
 #include "common/table.h"
+#include "sim/experiment_options.h"
 #include "sim/report.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
@@ -30,63 +32,34 @@
 namespace {
 
 using namespace moca;
+using sim::ParsedArgs;
 
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
-  bool has(const std::string& f) const { return flags.contains(f); }
-  std::string get(const std::string& f, std::string fallback = "") const {
-    const auto it = flags.find(f);
-    return it == flags.end() ? fallback : it->second;
-  }
-  std::uint64_t get_u64(const std::string& f, std::uint64_t fallback) const {
-    const auto it = flags.find(f);
-    if (it == flags.end()) return fallback;
-    char* end = nullptr;
-    const unsigned long long value =
-        std::strtoull(it->second.c_str(), &end, 10);
-    MOCA_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-                   "flag --" << f << " needs a number, got '" << it->second
-                             << "'");
-    return value;
-  }
-};
-
-Args parse(int argc, char** argv, int start) {
-  Args args;
-  for (int i = start; i < argc; ++i) {
-    const std::string token = argv[i];
-    if (token.rfind("--", 0) == 0) {
-      const std::string name = token.substr(2);
-      // --classify, --json and --log are bare flags; the others take a
-      // value.
-      if (name == "classify" || name == "json" || name == "log") {
-        args.flags[name] = "1";
-      } else {
-        MOCA_CHECK_MSG(i + 1 < argc, "flag --" << name << " needs a value");
-        args.flags[name] = argv[++i];
-      }
-    } else {
-      args.positional.push_back(token);
-    }
-  }
-  return args;
+/// Flags only the CLI accepts, on top of the shared ExperimentOptions set
+/// (--instr/--warmup/--config/--epoch/--trace-out/--jobs/--log).
+const std::vector<sim::FlagSpec>& cli_flags() {
+  static const std::vector<sim::FlagSpec> kFlags = {
+      {"json", false}, {"classify", false}, {"system", true},
+      {"out", true},   {"ops", true},       {"seed", true},
+  };
+  return kFlags;
 }
 
-sim::Experiment experiment_from(const Args& args) {
-  sim::Experiment e = sim::Experiment::from_env();
-  e.instructions = args.get_u64("instr", e.instructions);
-  e.hetero_config =
-      static_cast<int>(args.get_u64("config", e.hetero_config));
-  return e;
+/// Env defaults overlaid with the command line (flag > env > default).
+sim::ExperimentOptions options_from(const ParsedArgs& args) {
+  sim::ExperimentOptions options = sim::ExperimentOptions::from_env();
+  options.apply_flags(args);
+  return options;
 }
 
-/// Worker pool for sweep-shaped commands: --jobs N overrides, otherwise
-/// MOCA_SIM_JOBS / hardware_concurrency; --log prints per-job lines.
-sim::SweepRunner runner_from(const Args& args) {
-  sim::SweepRunner runner(static_cast<unsigned>(args.get_u64("jobs", 0)));
-  if (args.has("log")) runner.set_log(&std::cerr);
-  return runner;
+/// Writes the run's Chrome-trace file when --trace-out/MOCA_SIM_TRACE asked
+/// for one (open it in chrome://tracing or ui.perfetto.dev).
+void write_trace(const sim::ExperimentOptions& options,
+                 const sim::RunResult& r) {
+  if (options.trace_out.empty()) return;
+  std::ofstream out(options.trace_out);
+  MOCA_CHECK_MSG(out.good(), "cannot write " << options.trace_out);
+  out << chrome_trace_json(r.observability.trace) << '\n';
+  std::cerr << "trace written to " << options.trace_out << '\n';
 }
 
 std::optional<sim::SystemChoice> parse_system(const std::string& name) {
@@ -164,9 +137,9 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_profile(const Args& args) {
+int cmd_profile(const ParsedArgs& args) {
   MOCA_CHECK_MSG(args.positional.size() == 1, "profile needs one app");
-  const sim::Experiment e = experiment_from(args);
+  const sim::Experiment e = options_from(args).experiment;
   const core::AppProfile profile =
       sim::profile_app(workload::app_by_name(args.positional[0]), e);
   const core::ClassifiedApp classes = sim::classify_for_runtime(profile, e);
@@ -195,9 +168,10 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
-int cmd_run(const Args& args) {
+int cmd_run(const ParsedArgs& args) {
   MOCA_CHECK_MSG(!args.positional.empty(), "run needs at least one app");
-  const sim::Experiment e = experiment_from(args);
+  const sim::ExperimentOptions options = options_from(args);
+  const sim::Experiment& e = options.experiment;
   const std::string system = args.get("system", "moca");
   const auto report = [&](const sim::RunResult& r) {
     if (args.has("json")) {
@@ -205,6 +179,7 @@ int cmd_run(const Args& args) {
     } else {
       print_run(r);
     }
+    write_trace(options, r);
   };
   if (system == "migration") {
     os::MigrationConfig migration;
@@ -213,16 +188,17 @@ int cmd_run(const Args& args) {
   }
   const auto choice = parse_system(system);
   MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << system);
-  sim::SweepRunner runner = runner_from(args);
+  sim::SweepRunner runner = options.make_runner();
   const auto db = sim::build_profile_db(args.positional, e, runner);
   report(sim::run_workload(args.positional, *choice, db, e));
   return 0;
 }
 
-int cmd_compare(const Args& args) {
+int cmd_compare(const ParsedArgs& args) {
   MOCA_CHECK_MSG(!args.positional.empty(), "compare needs apps");
-  const sim::Experiment e = experiment_from(args);
-  sim::SweepRunner runner = runner_from(args);
+  const sim::ExperimentOptions options = options_from(args);
+  const sim::Experiment& e = options.experiment;
+  sim::SweepRunner runner = options.make_runner();
   const auto db = sim::build_profile_db(args.positional, e, runner);
 
   // All six systems on the worker pool; outcomes come back in submission
@@ -264,7 +240,7 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
-int cmd_record(const Args& args) {
+int cmd_record(const ParsedArgs& args) {
   MOCA_CHECK_MSG(args.positional.size() == 1, "record needs one app");
   MOCA_CHECK_MSG(args.has("out"), "record needs --out FILE");
   const workload::AppSpec app = workload::app_by_name(args.positional[0]);
@@ -274,7 +250,7 @@ int cmd_record(const Args& args) {
 
   core::ClassifiedApp classes;
   if (args.has("classify")) {
-    const sim::Experiment e = experiment_from(args);
+    const sim::Experiment e = options_from(args).experiment;
     classes = sim::classify_for_runtime(sim::profile_app(app, e), e);
     options.classes = &classes;
   }
@@ -286,9 +262,9 @@ int cmd_record(const Args& args) {
   return 0;
 }
 
-int cmd_replay(const Args& args) {
+int cmd_replay(const ParsedArgs& args) {
   MOCA_CHECK_MSG(args.positional.size() == 1, "replay needs one trace file");
-  const sim::Experiment e = experiment_from(args);
+  const sim::Experiment e = options_from(args).experiment;
   const std::string system = args.get("system", "moca");
   const auto choice = parse_system(system);
   MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << system);
@@ -319,9 +295,9 @@ workload::AppSpec app_from_file(const std::string& path) {
   return workload::parse_app_spec(buffer.str());
 }
 
-int cmd_profile_file(const Args& args) {
+int cmd_profile_file(const ParsedArgs& args) {
   MOCA_CHECK_MSG(args.positional.size() == 1, "profile-file needs one file");
-  const sim::Experiment e = experiment_from(args);
+  const sim::Experiment e = options_from(args).experiment;
   const workload::AppSpec app = app_from_file(args.positional[0]);
   const core::AppProfile profile = sim::profile_app(app, e);
   const core::ClassifiedApp classes = sim::classify_for_runtime(profile, e);
@@ -340,9 +316,10 @@ int cmd_profile_file(const Args& args) {
   return 0;
 }
 
-int cmd_run_file(const Args& args) {
+int cmd_run_file(const ParsedArgs& args) {
   MOCA_CHECK_MSG(args.positional.size() == 1, "run-file needs one file");
-  const sim::Experiment e = experiment_from(args);
+  const sim::ExperimentOptions exp_options = options_from(args);
+  const sim::Experiment& e = exp_options.experiment;
   const workload::AppSpec app = app_from_file(args.positional[0]);
   const std::string system = args.get("system", "moca");
   const auto choice = parse_system(system);
@@ -351,6 +328,7 @@ int cmd_run_file(const Args& args) {
   sim::SystemOptions options;
   options.instructions_per_core = e.instructions;
   options.warmup_instructions = e.effective_warmup();
+  options.observability = e.observability;
   sim::AppInstance inst;
   inst.spec = app;
   inst.seed = e.ref_seed;
@@ -369,6 +347,7 @@ int cmd_run_file(const Args& args) {
   } else {
     print_run(r);
   }
+  write_trace(exp_options, r);
   return 0;
 }
 
@@ -383,7 +362,12 @@ int usage() {
          "  profile-file <spec.app> [--instr N]      custom workload file\n"
          "  run-file <spec.app> [--system S] [--json]\n"
          "  replay <F> [--system S] [--instr N]\n"
-         "systems: ddr3 lp rl hbm heter-app moca migration\n";
+         "systems: ddr3 lp rl hbm heter-app moca migration\n"
+         "observability: [--epoch N] samples stats every N instructions\n"
+         "  into the JSON report; [--trace-out F] writes a Chrome trace.\n"
+         "Every knob also reads MOCA_SIM_{INSTR,WARMUP,CONFIG,EPOCH,TRACE,"
+         "JOBS};\n"
+         "flags win over environment variables.\n";
   return 2;
 }
 
@@ -392,7 +376,15 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args = parse(argc, argv, 2);
+  ParsedArgs args;
+  try {
+    args = sim::parse_args(argc, argv, 2, cli_flags());
+  } catch (const moca::CheckError& e) {
+    // Unknown flag / missing value: usage plus non-zero exit, instead of
+    // the old parser's silent guess that the next token was a value.
+    std::cerr << "error: " << e.what() << '\n';
+    return usage();
+  }
   try {
     if (command == "list") return cmd_list();
     if (command == "profile") return cmd_profile(args);

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fails when a fresh bench_hotpath.sh run regresses against a baseline.
+
+  tools/perf_guard.py fresh.json --baseline BENCH_hotpath.json \
+      --max-regression 0.05
+
+Compares throughput keys present in both reports' "current" sections; a key
+is a regression when fresh < baseline * (1 - max_regression). Intended as
+the observability pay-for-what-you-use guard: with sampling off the hot
+path must stay within a few percent of the committed numbers. Shared-CI
+noise means the threshold should stay loose; refresh the committed baseline
+on a quiet machine when the hot path legitimately changes (docs/perf.md).
+"""
+import argparse
+import json
+import sys
+
+DEFAULT_KEYS = [
+    "micro_overhead_noprofiling_instr_per_s",
+    "micro_overhead_profiling_instr_per_s",
+    "fig08_09_slice_instr_per_s",
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="report from the run under test")
+    parser.add_argument("--baseline", required=True,
+                        help="committed reference report")
+    parser.add_argument("--max-regression", type=float, default=0.05,
+                        help="allowed fractional slowdown (default 0.05)")
+    parser.add_argument("--keys", nargs="*", default=DEFAULT_KEYS,
+                        help="throughput keys to compare")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)["current"]
+    with open(args.baseline) as f:
+        base = json.load(f)["current"]
+
+    failed = False
+    for key in args.keys:
+        if key not in fresh or key not in base or not base[key]:
+            print(f"perf_guard: skip {key} (missing in one report)")
+            continue
+        ratio = fresh[key] / base[key]
+        status = "ok"
+        if ratio < 1.0 - args.max_regression:
+            status = "REGRESSION"
+            failed = True
+        print(f"perf_guard: {key}: {ratio:.3f}x baseline ({status})")
+    if failed:
+        print(f"perf_guard: FAIL (threshold {args.max_regression:.0%})",
+              file=sys.stderr)
+        sys.exit(1)
+    print("perf_guard: OK")
+
+
+if __name__ == "__main__":
+    main()
