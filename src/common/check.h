@@ -17,6 +17,23 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// A failure that is worth retrying: transient by construction (an injected
+/// flaky-IO fault, a resource that may free up on the next attempt). The
+/// sweep supervisor retries jobs failing with this type and quarantines
+/// them once the retry budget is exhausted; every other exception is
+/// treated as permanent.
+class RetryableError : public CheckError {
+ public:
+  explicit RetryableError(const std::string& what) : CheckError(what) {}
+};
+
+/// Thrown from the simulation loop when a cooperative cancellation flag is
+/// set (per-job wall-clock timeout in supervised sweeps). Never retried.
+class CancelledError : public CheckError {
+ public:
+  explicit CancelledError(const std::string& what) : CheckError(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,

@@ -1,0 +1,331 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace moca {
+namespace {
+
+/// Splits `text` on `sep`, trimming surrounding whitespace; empty pieces
+/// are dropped (so trailing semicolons are harmless).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    std::size_t a = start, b = end;
+    while (a < b && std::isspace(static_cast<unsigned char>(text[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(text[b - 1]))) {
+      --b;
+    }
+    if (b > a) out.push_back(text.substr(a, b - a));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& clause,
+                        const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  MOCA_CHECK_MSG(!s.empty() && end == s.c_str() + s.size(),
+                 "fault plan clause '" << clause << "': " << what
+                                       << " needs an integer, got '" << s
+                                       << "'");
+  return v;
+}
+
+double parse_prob(const std::string& s, const std::string& clause) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  MOCA_CHECK_MSG(!s.empty() && end == s.c_str() + s.size() && v >= 0.0 &&
+                     v <= 1.0,
+                 "fault plan clause '" << clause
+                                       << "': probability must be in [0,1], "
+                                          "got '"
+                                       << s << "'");
+  return v;
+}
+
+/// Splits "key=value@ps" into its three pieces (value and @ps optional).
+struct ActionToken {
+  std::string key;
+  std::string value;
+  std::string at;
+};
+
+ActionToken split_action(const std::string& token) {
+  ActionToken out;
+  std::string rest = token;
+  if (const std::size_t at = rest.find('@'); at != std::string::npos) {
+    out.at = rest.substr(at + 1);
+    rest.resize(at);
+  }
+  if (const std::size_t eq = rest.find('='); eq != std::string::npos) {
+    out.value = rest.substr(eq + 1);
+    rest.resize(eq);
+  }
+  out.key = rest;
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  plan.text_ = text;
+  for (const std::string& clause : split(text, ';')) {
+    const std::vector<std::string> fields = split(clause, ':');
+    MOCA_CHECK_MSG(!fields.empty(), "fault plan clause '" << clause
+                                                          << "' is empty");
+    FaultClause fc;
+
+    // Field 0: site, optionally with a module-name target.
+    const ActionToken site = split_action(fields[0]);
+    MOCA_CHECK_MSG(site.at.empty(), "fault plan clause '"
+                                        << clause << "': site token '"
+                                        << fields[0] << "' takes no @tick");
+    bool needs_target = false;
+    if (site.key == "module") {
+      fc.site = FaultClause::Site::kModule;
+      needs_target = true;
+    } else if (site.key == "frame") {
+      fc.site = FaultClause::Site::kFrame;
+      needs_target = true;
+    } else if (site.key == "alloc") {
+      fc.site = FaultClause::Site::kAlloc;
+    } else if (site.key == "trace") {
+      fc.site = FaultClause::Site::kTrace;
+    } else if (site.key == "job") {
+      fc.site = FaultClause::Site::kJob;
+    } else {
+      MOCA_CHECK_MSG(false, "fault plan clause '"
+                                << clause << "': unknown site '" << site.key
+                                << "' (module/frame/alloc/trace/job)");
+    }
+    fc.target = site.value;
+    MOCA_CHECK_MSG(needs_target == !fc.target.empty(),
+                   "fault plan clause '"
+                       << clause << "': site '" << site.key
+                       << (needs_target ? "' needs a =<module-name> target"
+                                        : "' takes no =target"));
+
+    // Remaining fields: exactly one action, plus an optional attempts=k.
+    bool saw_action = false;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const ActionToken a = split_action(fields[i]);
+      if (a.key == "attempts") {
+        MOCA_CHECK_MSG(a.at.empty(), "fault plan clause '"
+                                         << clause
+                                         << "': attempts takes no @tick");
+        fc.attempts = static_cast<std::uint32_t>(
+            parse_u64(a.value, clause, "attempts"));
+        MOCA_CHECK_MSG(fc.attempts > 0, "fault plan clause '"
+                                            << clause
+                                            << "': attempts must be > 0");
+        continue;
+      }
+      MOCA_CHECK_MSG(!saw_action, "fault plan clause '"
+                                      << clause
+                                      << "': more than one action ('"
+                                      << a.key << "')");
+      saw_action = true;
+      if (!a.at.empty()) fc.at_ps = parse_u64(a.at, clause, "@tick");
+
+      const auto want_site = [&](FaultClause::Site s, const char* name) {
+        MOCA_CHECK_MSG(fc.site == s, "fault plan clause '"
+                                         << clause << "': action '" << a.key
+                                         << "' is only valid on the " << name
+                                         << " site");
+      };
+      if (a.key == "offline") {
+        want_site(FaultClause::Site::kModule, "module");
+        MOCA_CHECK_MSG(a.value.empty(), "fault plan clause '"
+                                            << clause
+                                            << "': offline takes no =value");
+        fc.action = FaultClause::Action::kOffline;
+      } else if (a.key == "cap") {
+        want_site(FaultClause::Site::kModule, "module");
+        fc.action = FaultClause::Action::kCap;
+        fc.value = parse_u64(a.value, clause, "cap");
+      } else if (a.key == "slow") {
+        want_site(FaultClause::Site::kModule, "module");
+        fc.action = FaultClause::Action::kSlow;
+        fc.value = parse_u64(a.value, clause, "slow");
+        MOCA_CHECK_MSG(fc.value > 0, "fault plan clause '"
+                                         << clause
+                                         << "': slow needs a positive ps "
+                                            "penalty");
+      } else if (a.key == "every") {
+        want_site(FaultClause::Site::kFrame, "frame");
+        fc.action = FaultClause::Action::kFailEvery;
+        fc.value = parse_u64(a.value, clause, "every");
+        MOCA_CHECK_MSG(fc.value > 0, "fault plan clause '"
+                                         << clause
+                                         << "': every must be > 0");
+      } else if (a.key == "p") {
+        if (fc.site == FaultClause::Site::kFrame) {
+          fc.action = FaultClause::Action::kFailProb;
+        } else if (fc.site == FaultClause::Site::kAlloc) {
+          fc.action = FaultClause::Action::kDeclassify;
+        } else {
+          MOCA_CHECK_MSG(false, "fault plan clause '"
+                                    << clause
+                                    << "': action 'p' is only valid on the "
+                                       "frame and alloc sites");
+        }
+        fc.prob = parse_prob(a.value, clause);
+      } else if (a.key == "truncate") {
+        want_site(FaultClause::Site::kTrace, "trace");
+        fc.action = FaultClause::Action::kTruncate;
+        fc.value = parse_u64(a.value, clause, "truncate");
+        MOCA_CHECK_MSG(fc.value > 0, "fault plan clause '"
+                                         << clause
+                                         << "': truncate must be > 0");
+      } else if (a.key == "corrupt") {
+        want_site(FaultClause::Site::kTrace, "trace");
+        fc.action = FaultClause::Action::kCorrupt;
+        fc.value = parse_u64(a.value, clause, "corrupt");
+      } else if (a.key == "fail") {
+        want_site(FaultClause::Site::kJob, "job");
+        MOCA_CHECK_MSG(a.value.empty(), "fault plan clause '"
+                                            << clause
+                                            << "': fail takes no =value");
+        fc.action = FaultClause::Action::kJobFail;
+      } else {
+        MOCA_CHECK_MSG(false, "fault plan clause '" << clause
+                                                    << "': unknown action '"
+                                                    << a.key << "'");
+      }
+    }
+    MOCA_CHECK_MSG(saw_action, "fault plan clause '" << clause
+                                                     << "' has no action");
+    plan.clauses_.push_back(std::move(fc));
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                             std::uint32_t attempt) {
+  std::uint64_t index = 0;
+  for (const FaultClause& clause : plan.clauses()) {
+    ++index;
+    // attempts=k clauses are transient: inactive once the supervised retry
+    // ordinal reaches k.
+    if (clause.attempts != 0 && attempt >= clause.attempts) continue;
+    // Each stochastic clause gets its own seeded stream, independent of
+    // clause order evaluation and of every workload RNG.
+    ArmedClause armed{clause, 0,
+                      Rng(splitmix64(seed ^ (0xfa017ULL * index)))};
+    switch (clause.site) {
+      case FaultClause::Site::kModule:
+        module_clauses_.push_back(std::move(armed));
+        break;
+      case FaultClause::Site::kFrame:
+        frame_clauses_.push_back(std::move(armed));
+        break;
+      case FaultClause::Site::kAlloc:
+        alloc_clauses_.push_back(std::move(armed));
+        break;
+      case FaultClause::Site::kTrace:
+        trace_clauses_.push_back(std::move(armed));
+        break;
+      case FaultClause::Site::kJob:
+        job_clauses_.push_back(std::move(armed));
+        break;
+    }
+  }
+}
+
+bool FaultInjector::allow_frame_allocation(const std::string& module_name,
+                                           std::uint64_t used_frames) {
+  for (ArmedClause& c : module_clauses_) {
+    if (c.spec.target != module_name) continue;
+    if (c.spec.action == FaultClause::Action::kOffline &&
+        now() >= c.spec.at_ps) {
+      ++counters_.frame_denials;
+      return false;
+    }
+    if (c.spec.action == FaultClause::Action::kCap &&
+        used_frames >= c.spec.value) {
+      ++counters_.frame_denials;
+      return false;
+    }
+  }
+  for (ArmedClause& c : frame_clauses_) {
+    if (c.spec.target != module_name) continue;
+    if (c.spec.action == FaultClause::Action::kFailEvery &&
+        ++c.counter % c.spec.value == 0) {
+      ++counters_.frame_denials;
+      return false;
+    }
+    if (c.spec.action == FaultClause::Action::kFailProb &&
+        c.rng.next_bool(c.spec.prob)) {
+      ++counters_.frame_denials;
+      return false;
+    }
+  }
+  return true;
+}
+
+TimePs FaultInjector::access_penalty_ps(
+    const std::string& module_name) const {
+  TimePs penalty = 0;
+  for (const ArmedClause& c : module_clauses_) {
+    if (c.spec.action == FaultClause::Action::kSlow &&
+        c.spec.target == module_name && now() >= c.spec.at_ps) {
+      penalty += static_cast<TimePs>(c.spec.value);
+    }
+  }
+  if (penalty > 0) ++counters_.penalized_accesses;
+  return penalty;
+}
+
+bool FaultInjector::drop_classification() {
+  for (ArmedClause& c : alloc_clauses_) {
+    if (c.spec.action == FaultClause::Action::kDeclassify &&
+        c.rng.next_bool(c.spec.prob)) {
+      ++counters_.declassifications;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::TraceFault FaultInjector::trace_fault(
+    std::uint64_t record_index) const {
+  for (const ArmedClause& c : trace_clauses_) {
+    if (c.spec.action == FaultClause::Action::kCorrupt &&
+        record_index == c.spec.value) {
+      return TraceFault::kCorrupt;
+    }
+    if (c.spec.action == FaultClause::Action::kTruncate &&
+        record_index >= c.spec.value) {
+      return TraceFault::kTruncate;
+    }
+  }
+  return TraceFault::kNone;
+}
+
+void FaultInjector::maybe_fail_job() const {
+  for (const ArmedClause& c : job_clauses_) {
+    if (c.spec.action == FaultClause::Action::kJobFail) {
+      throw RetryableError(
+          "fault injection: job:fail clause armed for this attempt");
+    }
+  }
+}
+
+void FaultInjector::register_stats(StatRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.counter(prefix + "/frame_denials", &counters_.frame_denials);
+  registry.counter(prefix + "/declassifications",
+                   &counters_.declassifications);
+  registry.counter(prefix + "/penalized_accesses",
+                   &counters_.penalized_accesses);
+}
+
+}  // namespace moca

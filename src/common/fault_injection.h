@@ -1,0 +1,164 @@
+// Deterministic fault injection (chaos testing for the simulated machine).
+//
+// A FaultPlan is a parsed, validated description of the faults one
+// experiment should suffer: memory modules degrading or going offline at a
+// given simulated tick, individual frame allocations failing, allocator
+// classifications dropping out, trace reads truncating or corrupting, and
+// whole-job transient failures. The plan travels by value inside
+// sim::Experiment, so every sweep cell carries its own copy and nothing is
+// shared across worker threads.
+//
+// A FaultInjector is the armed, per-simulation instance of a plan: it owns
+// the per-site RNG streams (seeded from the experiment seed) and per-site
+// counters, so identical (plan, seed, attempt) triples produce identical
+// fault sequences regardless of the sweep's worker count. Components hold a
+// raw `FaultInjector*` that is null when no plan is armed — the unarmed
+// cost is a single null check per site.
+//
+// Plan grammar (docs/robustness.md): semicolon-separated clauses, each a
+// colon-separated site + action + optional modifiers:
+//
+//   module=<name>:offline[@<ps>]     reject new frames from tick <ps> on
+//   module=<name>:cap=<frames>       clamp the module to <frames> frames
+//   module=<name>:slow=<ps>[@<ps>]   add <ps> to every access completion
+//   frame=<name>:every=<n>           every n-th frame allocation fails
+//   frame=<name>:p=<prob>            frame allocations fail w.p. <prob>
+//   alloc:p=<prob>                   malloc drops its classification w.p.
+//   trace:truncate=<k>               trace reads at record >= k hit EOF
+//   trace:corrupt=<k>                reading record k throws RetryableError
+//   job:fail                         job throws RetryableError at run start
+//
+// Any clause may append `:attempts=<k>` to fire only on the first k
+// attempts of a supervised job (a genuinely transient fault: the retry
+// succeeds). Example: `job:fail:attempts=1;module=RL-256MB:offline@0`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stat_registry.h"
+#include "common/time.h"
+
+namespace moca {
+
+/// One parsed fault clause. Value type; interpretation lives in
+/// FaultInjector.
+struct FaultClause {
+  enum class Site : std::uint8_t { kModule, kFrame, kAlloc, kTrace, kJob };
+  enum class Action : std::uint8_t {
+    kOffline,     // module: no new frames from at_ps on
+    kCap,         // module: frame capacity clamped to `value`
+    kSlow,        // module: +`value` ps per access from at_ps on
+    kFailEvery,   // frame: every `value`-th allocation fails
+    kFailProb,    // frame: allocation fails with probability `prob`
+    kDeclassify,  // alloc: drop classification with probability `prob`
+    kTruncate,    // trace: reads at record >= `value` behave as EOF
+    kCorrupt,     // trace: reading record `value` throws RetryableError
+    kJobFail,     // job: RetryableError at run start
+  };
+  Site site = Site::kJob;
+  Action action = Action::kJobFail;
+  std::string target;        // module name for kModule/kFrame sites
+  std::uint64_t value = 0;   // frames / every-n / record index / extra ps
+  double prob = 0.0;         // probability actions
+  TimePs at_ps = 0;          // activation tick for offline/slow
+  std::uint32_t attempts = 0;  // 0 = every attempt, else first k only
+};
+
+/// Parsed, validated fault plan. Empty by default (no faults).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the plan grammar above. Throws CheckError naming the offending
+  /// clause and token on any syntax or range error.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  [[nodiscard]] bool empty() const { return clauses_.empty(); }
+  [[nodiscard]] const std::vector<FaultClause>& clauses() const {
+    return clauses_;
+  }
+  /// The original plan text (journal fingerprints, reports, logs).
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  std::vector<FaultClause> clauses_;
+  std::string text_;
+};
+
+/// Armed per-simulation fault state. Owned by the simulation (one per
+/// sim::System / trace replay); components reference it via raw pointer.
+class FaultInjector {
+ public:
+  /// `seed` derives every stochastic fault stream; `attempt` is the
+  /// supervised-retry ordinal (0 on the first try) gating `attempts=k`
+  /// clauses.
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                std::uint32_t attempt = 0);
+
+  /// Installs the simulated-time source consulted by time-gated clauses
+  /// (offline@, slow@). Defaults to a constant 0 (every gate active).
+  void set_clock(std::function<TimePs()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  /// Frame-allocation gate for `module_name`, consulted by
+  /// os::PhysicalMemory before handing out a frame. `used_frames` is the
+  /// module's current allocation count (for cap clauses). Returns false
+  /// when the allocation must fail, forcing the caller's fallback chain to
+  /// reroute.
+  [[nodiscard]] bool allow_frame_allocation(const std::string& module_name,
+                                            std::uint64_t used_frames);
+
+  /// Extra completion latency injected into every access of a degraded
+  /// module (0 when the module is healthy or the slow gate has not
+  /// activated yet).
+  [[nodiscard]] TimePs access_penalty_ps(const std::string& module_name) const;
+
+  /// Allocator gate: true when this malloc_named must ignore its
+  /// classification (simulating a degraded instrumentation LUT).
+  [[nodiscard]] bool drop_classification();
+
+  enum class TraceFault : std::uint8_t { kNone, kTruncate, kCorrupt };
+  /// Trace-read gate for the record at `record_index`.
+  [[nodiscard]] TraceFault trace_fault(std::uint64_t record_index) const;
+
+  /// Throws RetryableError when a job:fail clause is armed for this
+  /// attempt; called once at the start of every simulation run.
+  void maybe_fail_job() const;
+
+  struct Counters {
+    std::uint64_t frame_denials = 0;
+    std::uint64_t declassifications = 0;
+    std::uint64_t penalized_accesses = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Publishes `<prefix>/frame_denials`, `<prefix>/declassifications` and
+  /// `<prefix>/penalized_accesses` counters (prefix e.g. "faults").
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
+
+ private:
+  struct ArmedClause {
+    FaultClause spec;
+    std::uint64_t counter = 0;  // every-n state
+    Rng rng;                    // probability state
+  };
+
+  [[nodiscard]] TimePs now() const { return clock_ ? clock_() : 0; }
+
+  std::vector<ArmedClause> module_clauses_;
+  std::vector<ArmedClause> frame_clauses_;
+  std::vector<ArmedClause> alloc_clauses_;
+  std::vector<ArmedClause> trace_clauses_;
+  std::vector<ArmedClause> job_clauses_;
+  std::function<TimePs()> clock_;
+  mutable Counters counters_;
+};
+
+}  // namespace moca

@@ -38,6 +38,21 @@ void MemoryModule::access(std::uint64_t addr, bool is_write,
   req.is_write = is_write;
   req.arrival = events_.now();
   req.on_complete = std::move(on_complete);
+  if (injector_ != nullptr) {
+    // Degraded-module penalty: hold the completion callback back by the
+    // injected latency so downstream wakeups observe the slower module.
+    if (const TimePs penalty = injector_->access_penalty_ps(name_);
+        penalty > 0) {
+      req.on_complete = [this, penalty,
+                         inner = std::move(req.on_complete)](
+                            TimePs done) mutable {
+        events_.schedule(done + penalty, [penalty, cb = std::move(inner),
+                                          done]() mutable {
+          if (cb) cb(done + penalty);
+        });
+      };
+    }
+  }
   channels_[coord.channel]->enqueue(std::move(req), coord.bank, coord.row);
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/fault_injection.h"
 #include "common/stat_registry.h"
 #include "dram/address_map.h"
 #include "dram/controller.h"
@@ -58,6 +59,10 @@ class MemoryModule {
   /// Peak bandwidth across all channels, bytes/s.
   [[nodiscard]] double peak_bandwidth_bytes_per_s() const;
 
+  /// Arms fault injection: `slow` clauses naming this module delay every
+  /// access completion by the configured penalty. Null (default) disarms.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   DeviceConfig device_;
   std::uint64_t capacity_;
@@ -65,6 +70,7 @@ class MemoryModule {
   EventQueue& events_;
   AddressMap map_;
   std::vector<std::unique_ptr<ChannelController>> channels_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace moca::dram

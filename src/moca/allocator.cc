@@ -11,6 +11,10 @@ MocaAllocator::Allocation MocaAllocator::malloc_named(
   out.name = name_object(call_stack);
   out.object_class = classes_ != nullptr ? classes_->class_of(out.name)
                                          : os::MemClass::kNonIntensive;
+  if (injector_ != nullptr && out.object_class != os::MemClass::kNonIntensive &&
+      injector_->drop_classification()) {
+    out.object_class = os::MemClass::kNonIntensive;
+  }
   out.base = space_.alloc_heap(os::heap_segment_for(out.object_class), bytes);
   out.runtime_id = registry_.add(out.name, space_.pid(), out.base, bytes,
                                  out.object_class, std::move(label));

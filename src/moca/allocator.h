@@ -11,6 +11,7 @@
 #include <span>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "moca/classifier.h"
 #include "moca/object_registry.h"
 #include "os/address_space.h"
@@ -41,10 +42,16 @@ class MocaAllocator {
   /// free(): retires the live instance and recycles its virtual range.
   void free_object(std::uint64_t runtime_id);
 
+  /// Arms fault injection: `alloc:p=` clauses make malloc_named drop its
+  /// classification (object lands in the default partition), simulating a
+  /// degraded instrumentation LUT. Null (default) disarms.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   os::AddressSpace& space_;
   ObjectRegistry& registry_;
   const ClassifiedApp* classes_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace moca::core

@@ -55,6 +55,16 @@ const ObjectInstance* ObjectRegistry::find(os::ProcessId pid,
   return nullptr;
 }
 
+std::vector<os::ObjectRange> ObjectRegistry::live_ranges() const {
+  std::vector<os::ObjectRange> out;
+  for (const ObjectInstance& inst : instances_) {
+    if (!inst.live) continue;
+    out.push_back(os::ObjectRange{inst.pid, inst.base, inst.bytes,
+                                  inst.placed_class, inst.id});
+  }
+  return out;
+}
+
 void ObjectRegistry::register_stats(StatRegistry& registry,
                                     const std::string& prefix) const {
   registry.counter(prefix + "/registrations", [this] {

@@ -13,6 +13,7 @@
 
 #include "common/stat_registry.h"
 #include "moca/naming.h"
+#include "os/auditor.h"
 #include "os/types.h"
 
 namespace moca::core {
@@ -47,6 +48,10 @@ class ObjectRegistry {
   /// Finds the live instance covering `addr` in process `pid`, or nullptr.
   [[nodiscard]] const ObjectInstance* find(os::ProcessId pid,
                                            os::VirtAddr addr) const;
+
+  /// Every live instance as an os::ObjectRange, for the invariant auditor
+  /// (which reconciles the LUT against heap-partition accounting).
+  [[nodiscard]] std::vector<os::ObjectRange> live_ranges() const;
 
   /// Marks an instance freed: it stops resolving in find() and its address
   /// range may be reused by a later registration.

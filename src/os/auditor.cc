@@ -1,0 +1,166 @@
+#include "os/auditor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "os/address_space.h"
+#include "os/physical_memory.h"
+
+namespace moca::os {
+namespace {
+
+VirtAddr heap_partition_base(Segment s) {
+  switch (s) {
+    case Segment::kHeapLat:
+      return kHeapLatBase;
+    case Segment::kHeapBw:
+      return kHeapBwBase;
+    case Segment::kHeapPow:
+      return kHeapPowBase;
+    default:
+      MOCA_CHECK_MSG(false, "not a heap partition: " << to_string(s));
+      return 0;
+  }
+}
+
+}  // namespace
+
+void Auditor::run_audit() {
+  ++counters_.audits;
+  const PhysicalMemory& phys = os_.physical_memory();
+  const Pfn total = phys.total_frames();
+
+  // A1 + A2: walk every mapping of every alive process, recording the
+  // owner of each PFN and the per-module mapped count.
+  std::unordered_map<Pfn, std::pair<ProcessId, Vpn>> owners;
+  std::vector<std::uint64_t> mapped_per_module(phys.module_count(), 0);
+  os_.for_each_alive_process([&](ProcessId pid, const AddressSpace& space) {
+    space.page_table().for_each([&](Vpn vpn, Pfn pfn) {
+      ++counters_.pages_checked;
+      MOCA_CHECK_MSG(pfn < total, "audit A1: pid "
+                                      << pid << " vpn " << vpn
+                                      << " maps pfn " << pfn
+                                      << " outside all modules\n"
+                                      << accounting_dump());
+      const auto [it, inserted] =
+          owners.emplace(pfn, std::make_pair(pid, vpn));
+      MOCA_CHECK_MSG(inserted, "audit A2: pfn "
+                                   << pfn << " mapped twice: pid "
+                                   << it->second.first << " vpn "
+                                   << it->second.second << " and pid " << pid
+                                   << " vpn " << vpn << "\n"
+                                   << accounting_dump());
+      ++mapped_per_module[phys.locate(pfn << kPageShift).module_index];
+    });
+  });
+
+  // A3 + A4: free-list integrity and the three-way per-module accounting
+  // reconciliation (page tables vs Os stats vs frame allocators).
+  const OsStats& stats = os_.stats();
+  for (std::uint32_t m = 0; m < phys.module_count(); ++m) {
+    const FrameAllocator& alloc = phys.allocator(m);
+    const std::string& name = phys.module(m).name();
+    const Pfn base = phys.base_pfn(m);
+    std::unordered_set<std::uint64_t> free_frames;
+    for (const std::uint64_t frame : alloc.free_list()) {
+      MOCA_CHECK_MSG(frame < alloc.next_unused(),
+                     "audit A3: module " << name
+                                         << " free list holds never-"
+                                            "allocated frame "
+                                         << frame << "\n"
+                                         << accounting_dump());
+      MOCA_CHECK_MSG(free_frames.insert(frame).second,
+                     "audit A3: module " << name
+                                         << " free list holds frame "
+                                         << frame << " twice\n"
+                                         << accounting_dump());
+      const auto owner = owners.find(base + frame);
+      MOCA_CHECK_MSG(owner == owners.end(),
+                     "audit A3: module "
+                         << name << " frame " << frame
+                         << " is on the free list but mapped by pid "
+                         << (owner == owners.end() ? 0 : owner->second.first)
+                         << "\n"
+                         << accounting_dump());
+    }
+    MOCA_CHECK_MSG(
+        mapped_per_module[m] == stats.frames_per_module[m] &&
+            stats.frames_per_module[m] == alloc.used_frames(),
+        "audit A4: module " << name << " accounting diverged: "
+                            << mapped_per_module[m] << " pages mapped, "
+                            << stats.frames_per_module[m]
+                            << " frames in Os stats, " << alloc.used_frames()
+                            << " frames used by the allocator\n"
+                            << accounting_dump());
+  }
+
+  // A5: live objects sit in the partition of their class, within its
+  // reserved bytes, without overlapping other live objects of the process.
+  if (object_ranges_) {
+    std::vector<ObjectRange> ranges = object_ranges_();
+    counters_.objects_checked += ranges.size();
+    for (const ObjectRange& r : ranges) {
+      const Segment want = heap_segment_for(r.placed_class);
+      const VirtAddr end = r.base + (r.bytes > 0 ? r.bytes - 1 : 0);
+      MOCA_CHECK_MSG(segment_of(r.base) == want && segment_of(end) == want,
+                     "audit A5: object "
+                         << r.runtime_id << " (pid " << r.pid << ", class "
+                         << to_string(r.placed_class) << ") at [" << r.base
+                         << ", " << end << "] is outside its "
+                         << to_string(want) << " partition\n"
+                         << accounting_dump());
+      const std::uint64_t reserved =
+          os_.address_space(r.pid).heap_bytes(want);
+      MOCA_CHECK_MSG(end - heap_partition_base(want) < reserved,
+                     "audit A5: object "
+                         << r.runtime_id << " (pid " << r.pid
+                         << ") ends beyond the " << reserved
+                         << " reserved bytes of " << to_string(want) << "\n"
+                         << accounting_dump());
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const ObjectRange& a, const ObjectRange& b) {
+                return std::tie(a.pid, a.base) < std::tie(b.pid, b.base);
+              });
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      const ObjectRange& prev = ranges[i - 1];
+      const ObjectRange& cur = ranges[i];
+      MOCA_CHECK_MSG(prev.pid != cur.pid ||
+                         prev.base + prev.bytes <= cur.base,
+                     "audit A5: live objects "
+                         << prev.runtime_id << " and " << cur.runtime_id
+                         << " of pid " << cur.pid << " overlap at "
+                         << cur.base << "\n"
+                         << accounting_dump());
+    }
+  }
+}
+
+std::string Auditor::accounting_dump() const {
+  const PhysicalMemory& phys = os_.physical_memory();
+  const OsStats& stats = os_.stats();
+  std::ostringstream os;
+  os << "per-module accounting (used/os-stats/free-list/total frames):";
+  for (std::uint32_t m = 0; m < phys.module_count(); ++m) {
+    const FrameAllocator& alloc = phys.allocator(m);
+    os << "\n  " << phys.module(m).name() << ": "
+       << alloc.used_frames() << "/" << stats.frames_per_module[m] << "/"
+       << alloc.free_list().size() << "/" << alloc.total_frames();
+  }
+  return os.str();
+}
+
+void Auditor::register_stats(StatRegistry& registry,
+                             const std::string& prefix) const {
+  registry.counter(prefix + "/audits", &counters_.audits);
+  registry.counter(prefix + "/pages_checked", &counters_.pages_checked);
+  registry.counter(prefix + "/objects_checked", &counters_.objects_checked);
+}
+
+}  // namespace moca::os

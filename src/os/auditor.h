@@ -1,0 +1,82 @@
+// Runtime invariant auditor: cross-checks the paging/allocation state.
+//
+// The OS, physical memory and MOCA object registry each keep their own
+// bookkeeping of the same underlying facts (which frames are in use, where
+// objects live). Tests exercise each component in isolation; the auditor
+// closes the loop at runtime by reconciling all three views while a
+// simulation runs. It is opt-in (--audit / MOCA_SIM_AUDIT=1) and rides the
+// epoch sampler: sim::System calls run_audit() once per epoch tick and once
+// after the measured phase.
+//
+// Invariants checked (docs/robustness.md):
+//   A1  every mapped PFN lies inside a registered module;
+//   A2  no PFN is mapped by two pages (within or across processes);
+//   A3  no mapped PFN sits on its module's free list, free lists contain no
+//       duplicates, and every free frame index was previously handed out;
+//   A4  per-module: frames mapped by alive processes == Os
+//       frames_per_module accounting == FrameAllocator used_frames;
+//   A5  every live object sits entirely inside the heap partition of its
+//       placed class, within the partition's reserved bytes, and live
+//       object ranges of one process never overlap.
+//
+// On divergence run_audit() throws CheckError with a full diagnostic dump
+// (the failing invariant, the offending page/object, and the per-module
+// accounting table).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stat_registry.h"
+#include "os/os.h"
+#include "os/types.h"
+
+namespace moca::os {
+
+/// One live object instance as seen by the auditor. Declared here (not in
+/// moca/) so os-level code never depends on the moca layer; sim::System
+/// adapts ObjectRegistry::live_ranges() into this shape.
+struct ObjectRange {
+  ProcessId pid = 0;
+  VirtAddr base = 0;
+  std::uint64_t bytes = 0;
+  MemClass placed_class = MemClass::kNonIntensive;
+  std::uint64_t runtime_id = 0;
+};
+
+class Auditor {
+ public:
+  /// `os` outlives the auditor. `object_ranges` supplies the live-object
+  /// view to reconcile (invariant A5); pass null to audit paging only.
+  explicit Auditor(const Os& os,
+                   std::function<std::vector<ObjectRange>()> object_ranges =
+                       nullptr)
+      : os_(os), object_ranges_(std::move(object_ranges)) {}
+
+  /// Runs one full audit pass; throws CheckError with a diagnostic dump on
+  /// the first violated invariant.
+  void run_audit();
+
+  struct Counters {
+    std::uint64_t audits = 0;
+    std::uint64_t pages_checked = 0;
+    std::uint64_t objects_checked = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Publishes `<prefix>/audits`, `<prefix>/pages_checked` and
+  /// `<prefix>/objects_checked` counters (prefix e.g. "os/audit").
+  void register_stats(StatRegistry& registry,
+                      const std::string& prefix) const;
+
+ private:
+  [[nodiscard]] std::string accounting_dump() const;
+
+  const Os& os_;
+  std::function<std::vector<ObjectRange>()> object_ranges_;
+  Counters counters_;
+};
+
+}  // namespace moca::os

@@ -75,8 +75,20 @@ class Os {
 
   [[nodiscard]] const OsStats& stats() const { return stats_; }
   [[nodiscard]] PhysicalMemory& physical_memory() { return phys_; }
+  [[nodiscard]] const PhysicalMemory& physical_memory() const {
+    return phys_;
+  }
   [[nodiscard]] std::size_t process_count() const {
     return processes_.size();
+  }
+
+  /// Visits every alive process as f(pid, address_space). Used by the
+  /// invariant auditor to reconcile page tables against frame accounting.
+  template <class F>
+  void for_each_alive_process(F&& f) const {
+    for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+      if (processes_[pid].alive) f(pid, *processes_[pid].space);
+    }
   }
 
  private:

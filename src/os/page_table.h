@@ -34,6 +34,13 @@ class PageTable {
     return {table_.begin(), table_.end()};
   }
 
+  /// Visits every mapping as f(vpn, pfn) without materialising a snapshot
+  /// (invariant auditor hot path).
+  template <class F>
+  void for_each(F&& f) const {
+    for (const auto& [vpn, pfn] : table_) f(vpn, pfn);
+  }
+
  private:
   std::unordered_map<Vpn, Pfn> table_;
 };

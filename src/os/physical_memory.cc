@@ -34,6 +34,11 @@ std::uint32_t PhysicalMemory::add_module(dram::MemoryModule* module) {
 std::optional<Pfn> PhysicalMemory::try_allocate(std::uint32_t module_index) {
   MOCA_CHECK(module_index < entries_.size());
   Entry& e = entries_[module_index];
+  if (injector_ != nullptr &&
+      !injector_->allow_frame_allocation(e.module->name(),
+                                         e.allocator.used_frames())) {
+    return std::nullopt;
+  }
   const std::optional<std::uint64_t> local = e.allocator.allocate();
   if (!local) return std::nullopt;
   return e.base_pfn + *local;

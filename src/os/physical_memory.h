@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/units.h"
 #include "dram/module.h"
 #include "os/types.h"
@@ -28,6 +29,12 @@ class FrameAllocator {
   [[nodiscard]] bool full() const {
     return next_unused_ >= total_frames_ && free_list_.empty();
   }
+
+  /// Raw free-list state, exposed for the invariant auditor only.
+  [[nodiscard]] const std::vector<std::uint64_t>& free_list() const {
+    return free_list_;
+  }
+  [[nodiscard]] std::uint64_t next_unused() const { return next_unused_; }
 
  private:
   std::uint64_t total_frames_;
@@ -67,11 +74,21 @@ class PhysicalMemory {
   [[nodiscard]] const FrameAllocator& allocator(std::uint32_t index) const {
     return entries_[index].allocator;
   }
+  /// First global PFN of module `index` (the module owns
+  /// [base_pfn, base_pfn + allocator.total_frames())).
+  [[nodiscard]] Pfn base_pfn(std::uint32_t index) const {
+    return entries_[index].base_pfn;
+  }
   [[nodiscard]] std::uint64_t total_frames() const { return next_base_; }
 
   /// Modules of a given kind, in registration order.
   [[nodiscard]] std::vector<std::uint32_t> modules_of_kind(
       dram::MemKind kind) const;
+
+  /// Arms fault injection: try_allocate consults the injector before
+  /// handing out frames, so degraded/offline modules force the caller's
+  /// fallback chain to reroute. Null (the default) disarms.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
  private:
   struct Entry {
@@ -82,6 +99,7 @@ class PhysicalMemory {
   };
   std::vector<Entry> entries_;
   Pfn next_base_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace moca::os

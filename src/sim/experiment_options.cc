@@ -14,6 +14,8 @@ const std::vector<FlagSpec>& shared_flags() {
   static const std::vector<FlagSpec> kShared = {
       {"instr", true},  {"warmup", true}, {"config", true}, {"epoch", true},
       {"trace-out", true}, {"jobs", true}, {"log", false},
+      {"fault-plan", true}, {"timeout-ms", true}, {"retries", true},
+      {"journal", true}, {"resume", true}, {"audit", false},
   };
   return kShared;
 }
@@ -104,6 +106,17 @@ ExperimentOptions ExperimentOptions::from_env() {
     options.jobs = static_cast<unsigned>(*v);
   }
   if (std::getenv("MOCA_SWEEP_LOG") != nullptr) options.sweep_log = true;
+  if (const char* faults = std::getenv("MOCA_SIM_FAULTS");
+      faults != nullptr && *faults != '\0') {
+    options.experiment.faults = FaultPlan::parse(faults);
+  }
+  if (const auto v = env_u64("MOCA_SIM_TIMEOUT_MS")) {
+    options.supervisor.timeout_ms = static_cast<double>(*v);
+    options.supervised = true;
+  }
+  if (std::getenv("MOCA_SIM_AUDIT") != nullptr) {
+    options.experiment.observability.audit = true;
+  }
   return options;
 }
 
@@ -134,6 +147,34 @@ void ExperimentOptions::apply_flags(const ParsedArgs& args) {
     jobs = static_cast<unsigned>(args.get_u64("jobs", jobs));
   }
   if (args.has("log")) sweep_log = true;
+  if (args.has("fault-plan")) {
+    experiment.faults = FaultPlan::parse(args.get("fault-plan"));
+  }
+  if (args.has("timeout-ms")) {
+    supervisor.timeout_ms =
+        static_cast<double>(args.get_u64("timeout-ms", 0));
+    supervised = true;
+  }
+  if (args.has("retries")) {
+    const std::uint64_t value = args.get_u64("retries", 0);
+    MOCA_CHECK_MSG(value > 0, "flag --retries must be positive");
+    supervisor.max_attempts = static_cast<std::uint32_t>(value);
+    supervised = true;
+  }
+  if (args.has("journal")) {
+    supervisor.journal_path = args.get("journal");
+    MOCA_CHECK_MSG(!supervisor.journal_path.empty(),
+                   "flag --journal needs a file path");
+    supervised = true;
+  }
+  if (args.has("resume")) {
+    supervisor.journal_path = args.get("resume");
+    MOCA_CHECK_MSG(!supervisor.journal_path.empty(),
+                   "flag --resume needs a file path");
+    supervisor.resume = true;
+    supervised = true;
+  }
+  if (args.has("audit")) experiment.observability.audit = true;
 }
 
 SweepRunner ExperimentOptions::make_runner() const {

@@ -17,6 +17,16 @@
 //                                      phase tracing)
 //   --jobs N        MOCA_SIM_JOBS      sweep worker-pool size (0 = auto)
 //   --log           MOCA_SWEEP_LOG     per-job progress lines on stderr
+//   --fault-plan P  MOCA_SIM_FAULTS    deterministic fault plan
+//                                      (docs/robustness.md grammar)
+//   --timeout-ms N  MOCA_SIM_TIMEOUT_MS  per-job wall-clock budget
+//                                      (supervised sweeps; 0 = none)
+//   --retries N     MOCA_SIM_RETRIES   attempts per job for retryable
+//                                      faults (default 3)
+//   --journal F     (flag only)        supervised-sweep resume journal
+//   --resume F      (flag only)        resume from journal F (implies
+//                                      --journal F)
+//   --audit         MOCA_SIM_AUDIT     epoch-driven invariant auditor
 //
 // parse_args() rejects unknown flags and missing values with CheckError so
 // a typo ("--jsonx") fails loudly instead of silently swallowing the next
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "sim/runner.h"
+#include "sim/supervisor.h"
 #include "sim/sweep.h"
 
 namespace moca::sim {
@@ -75,6 +86,11 @@ struct ExperimentOptions {
   /// rather than the default — benches use this to keep their own larger
   /// default window when nothing was requested.
   bool instructions_overridden = false;
+  /// Supervised-sweep settings (--timeout-ms/--retries/--journal/--resume).
+  SupervisorOptions supervisor;
+  /// True when any supervision knob was given explicitly; entry points use
+  /// this to route sweeps through SweepSupervisor instead of SweepRunner.
+  bool supervised = false;
 
   /// Defaults overlaid with every MOCA_SIM_* / MOCA_SWEEP_LOG variable.
   [[nodiscard]] static ExperimentOptions from_env();

@@ -25,9 +25,13 @@ struct ObservabilityOptions {
   /// Collect phase-level Chrome trace events (warmup end, epoch
   /// boundaries, migration bursts, fallback-chain spills).
   bool trace = false;
+  /// Run the os::Auditor invariant pass on every observability tick and
+  /// once after the measured phase (--audit / MOCA_SIM_AUDIT). Throws
+  /// CheckError with a diagnostic dump on divergence.
+  bool audit = false;
 
   [[nodiscard]] bool enabled() const {
-    return epoch_instructions > 0 || trace;
+    return epoch_instructions > 0 || trace || audit;
   }
 };
 

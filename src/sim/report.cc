@@ -102,13 +102,17 @@ void write_run_result(JsonWriter& w, const RunResult& r) {
   w.end_object();
 }
 
-void write_outcome(JsonWriter& w, const SweepOutcome& o) {
+void write_outcome(JsonWriter& w, const SweepOutcome& o, bool host_stats) {
   w.begin_object();
   w.key("job_id").value(static_cast<std::uint64_t>(o.job_id));
   if (!o.label.empty()) w.key("label").value(o.label);
   w.key("ok").value(o.ok);
-  w.key("wall_ms").value(o.wall_ms);
-  w.key("sim_instr_per_sec").value(o.sim_instr_per_sec);
+  w.key("kind").value(to_string(o.kind));
+  w.key("attempts").value(static_cast<std::uint64_t>(o.attempts));
+  if (host_stats) {
+    w.key("wall_ms").value(o.wall_ms);
+    w.key("sim_instr_per_sec").value(o.sim_instr_per_sec);
+  }
   if (o.ok) {
     w.key("result");
     write_run_result(w, o.result);
@@ -128,16 +132,38 @@ std::string to_json(const RunResult& r) {
 
 std::string to_json(const SweepOutcome& outcome) {
   JsonWriter w;
-  write_outcome(w, outcome);
+  write_outcome(w, outcome, /*host_stats=*/true);
   return w.str();
 }
 
 std::string to_json(const std::vector<SweepOutcome>& outcomes) {
   JsonWriter w;
   w.begin_array();
-  for (const SweepOutcome& o : outcomes) write_outcome(w, o);
+  for (const SweepOutcome& o : outcomes) {
+    write_outcome(w, o, /*host_stats=*/true);
+  }
   w.end_array();
   return w.str();
+}
+
+std::string to_deterministic_json(const SweepOutcome& outcome) {
+  JsonWriter w;
+  write_outcome(w, outcome, /*host_stats=*/false);
+  return w.str();
+}
+
+std::string sweep_report_json(const std::vector<std::string>& outcome_jsons) {
+  // Spliced by hand: resume merges journal entries verbatim, and JsonWriter
+  // has no raw-injection mode.
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kReportSchemaVersion);
+  out += ",\"outcomes\":[";
+  for (std::size_t i = 0; i < outcome_jsons.size(); ++i) {
+    if (i > 0) out += ',';
+    out += outcome_jsons[i];
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace moca::sim

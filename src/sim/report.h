@@ -15,9 +15,12 @@ namespace moca::sim {
 ///   1 (implicit) — original report, no version field
 ///   2 — adds "schema_version" plus the optional additive "timeseries"
 ///       block (epoch sampler columns/rows, see docs/observability.md)
+///   3 — adds the typed "kind" + "attempts" failure fields to sweep
+///       outcomes and the supervisor's sweep-report/journal envelopes
+///       (docs/robustness.md)
 /// Consumers should accept unknown keys; bumps are additive-only unless a
 /// key's meaning changes.
-inline constexpr std::uint64_t kReportSchemaVersion = 2;
+inline constexpr std::uint64_t kReportSchemaVersion = 3;
 
 /// Serializes a RunResult as a JSON document (per-core, per-module and
 /// aggregate metrics; migration stats when the daemon ran; the epoch
@@ -32,5 +35,19 @@ inline constexpr std::uint64_t kReportSchemaVersion = 2;
 
 /// Serializes a whole sweep in submission order.
 [[nodiscard]] std::string to_json(const std::vector<SweepOutcome>& outcomes);
+
+/// Deterministic serialization of one outcome: same shape as to_json minus
+/// the host-side wall_ms / sim_instr_per_sec fields, so the bytes depend
+/// only on simulated state. The supervisor's journal entries and merged
+/// report use this form (a resumed sweep must merge byte-identically with
+/// an uninterrupted one).
+[[nodiscard]] std::string to_deterministic_json(const SweepOutcome& outcome);
+
+/// Assembles the supervisor's sweep report envelope,
+/// {"schema_version":N,"outcomes":[...]}, from already-serialized outcome
+/// objects (freshly produced by to_deterministic_json or spliced verbatim
+/// from a resume journal).
+[[nodiscard]] std::string sweep_report_json(
+    const std::vector<std::string>& outcome_jsons);
 
 }  // namespace moca::sim

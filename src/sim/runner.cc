@@ -135,6 +135,10 @@ RunResult run_workload(const std::vector<std::string>& app_names,
   options.instructions_per_core = experiment.instructions;
   options.warmup_instructions = experiment.effective_warmup();
   options.observability = experiment.observability;
+  options.faults = experiment.faults;
+  options.fault_seed = experiment.ref_seed;
+  options.fault_attempt = experiment.fault_attempt;
+  options.cancel = experiment.cancel;
 
   std::vector<AppInstance> instances;
   for (std::size_t i = 0; i < app_names.size(); ++i) {
@@ -168,6 +172,10 @@ RunResult run_workload_with_migration(
   options.warmup_instructions = experiment.effective_warmup();
   options.observability = experiment.observability;
   options.migration = migration;
+  options.faults = experiment.faults;
+  options.fault_seed = experiment.ref_seed;
+  options.fault_attempt = experiment.fault_attempt;
+  options.cancel = experiment.cancel;
 
   std::vector<AppInstance> instances;
   for (std::size_t i = 0; i < app_names.size(); ++i) {

@@ -2,11 +2,13 @@
 // profile -> classify -> run under each memory system / policy.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "moca/classifier.h"
 #include "moca/profile.h"
 #include "os/policy.h"
@@ -48,6 +50,18 @@ struct Experiment {
   /// Epoch sampling / phase tracing for the measured runs (profiling runs
   /// always leave it off). Carried through sweep jobs unchanged.
   ObservabilityOptions observability;
+  /// Deterministic fault plan armed for the measured runs (profiling runs
+  /// stay fault-free so the classification db is stable). Stochastic
+  /// clauses derive their streams from ref_seed; an empty plan costs
+  /// nothing. Parsed from --fault-plan / MOCA_SIM_FAULTS.
+  FaultPlan faults;
+  /// Supervised-retry ordinal (0 = first try) gating `attempts=k` fault
+  /// clauses; set per attempt by the sweep supervisor.
+  std::uint32_t fault_attempt = 0;
+  /// Cooperative cancellation flag polled inside System::run; when it
+  /// becomes true the run throws CancelledError. Null = never cancelled.
+  /// Set by the supervisor's per-job watchdog, not by end users.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Legacy env overlay (MOCA_SIM_INSTR only). Entry points should use the
   /// full ExperimentOptions::from_env() parser instead; this remains as a

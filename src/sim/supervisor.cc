@@ -1,0 +1,415 @@
+#include "sim/supervisor.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+
+namespace moca::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::uint64_t kJournalVersion = 1;
+
+/// Fixed line prefix every journal entry starts with; resume keys its
+/// parser off this (the journal is always self-written, so the shape is
+/// known exactly — no general JSON parser needed or present in the repo).
+std::string journal_prefix() {
+  return "{\"journal_version\":" + std::to_string(kJournalVersion) +
+         ",\"fingerprint\":\"";
+}
+
+/// One finished cell, framed so a crash mid-write can only ever damage the
+/// final line: {prefix}<fp>","cell":N,"outcome":{...}}
+std::string journal_line(const std::string& fingerprint, std::size_t cell,
+                         const std::string& outcome_json) {
+  std::string line = journal_prefix();
+  line += fingerprint;
+  line += "\",\"cell\":";
+  line += std::to_string(cell);
+  line += ",\"outcome\":";
+  line += outcome_json;
+  line += '}';
+  return line;
+}
+
+/// Pulls `"key":<token>` out of a self-written outcome object. Returns
+/// false when the key is absent. Only used on journal entries this code
+/// serialized itself, so a plain substring search is exact enough.
+bool extract_token(const std::string& json, const std::string& key,
+                   std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t begin = pos + needle.size();
+  std::size_t end = begin;
+  if (begin < json.size() && json[begin] == '"') {
+    ++begin;
+    end = begin;
+    while (end < json.size() && json[end] != '"') ++end;
+  } else {
+    while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  }
+  out = json.substr(begin, end - begin);
+  return true;
+}
+
+}  // namespace
+
+/// Single background thread tracking armed deadlines; fires by flipping
+/// each job's cancellation flag (the simulation notices at its next
+/// cooperative poll). One watchdog serves every concurrent worker: arm()
+/// and disarm() are O(armed jobs), which is bounded by the pool size.
+class SweepSupervisor::Watchdog {
+ public:
+  Watchdog() : thread_([this] { loop(); }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint64_t arm(std::atomic<bool>* flag, double timeout_ms) {
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               timeout_ms));
+    std::uint64_t id = 0;
+    {
+      std::lock_guard lock(mutex_);
+      id = next_id_++;
+      entries_.push_back(Entry{id, deadline, flag});
+    }
+    cv_.notify_all();
+    return id;
+  }
+
+  void disarm(std::uint64_t id) {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_[i] = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    Clock::time_point deadline;
+    std::atomic<bool>* flag = nullptr;
+  };
+
+  void loop() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (stop_) return;
+      const auto now = Clock::now();
+      Clock::time_point earliest = Clock::time_point::max();
+      for (std::size_t i = 0; i < entries_.size();) {
+        if (entries_[i].deadline <= now) {
+          entries_[i].flag->store(true, std::memory_order_relaxed);
+          entries_[i] = entries_.back();
+          entries_.pop_back();
+        } else {
+          earliest = std::min(earliest, entries_[i].deadline);
+          ++i;
+        }
+      }
+      if (entries_.empty()) {
+        cv_.wait(lock);
+      } else {
+        cv_.wait_until(lock, earliest);
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+std::string sweep_fingerprint(const std::vector<SweepJob>& jobs) {
+  // Serialize everything that determines a cell's simulated result into a
+  // flat description, then hash. Host-side knobs (jobs, log, timeout) are
+  // deliberately excluded: they may differ between the killed run and the
+  // resume without invalidating finished cells.
+  std::ostringstream os;
+  os << "sweep/v1:" << jobs.size();
+  for (const SweepJob& job : jobs) {
+    os << ";label=" << job.label << ";choice=" << to_string(job.choice)
+       << ";apps=";
+    for (const std::string& app : job.apps) os << app << ',';
+    const Experiment& e = job.experiment;
+    os << ";instr=" << e.instructions << ";warmup=" << e.warmup
+       << ";train_seed=" << e.train_seed << ";ref_seed=" << e.ref_seed
+       << ";train_scale=" << e.train_scale << ";ref_scale=" << e.ref_scale
+       << ";othr=" << e.object_thresholds.thr_lat << ','
+       << e.object_thresholds.thr_bw
+       << ";athr=" << e.app_thresholds.thr_lat << ','
+       << e.app_thresholds.thr_bw << ";cfg=" << e.hetero_config
+       << ";epoch=" << e.observability.epoch_instructions
+       << ";audit=" << (e.observability.audit ? 1 : 0)
+       << ";faults=" << e.faults.text();
+  }
+  const std::string desc = os.str();
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64, then mixed
+  for (const char c : desc) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h = splitmix64(h);
+  std::ostringstream hex;
+  hex << std::hex;
+  hex.width(16);
+  hex.fill('0');
+  hex << h;
+  return hex.str();
+}
+
+SweepSupervisor::SweepSupervisor(SweepRunner& runner,
+                                 SupervisorOptions options)
+    : runner_(runner), options_(std::move(options)) {
+  MOCA_CHECK_MSG(!options_.resume || !options_.journal_path.empty(),
+                 "supervisor: resume requires a journal path");
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  if (options_.timeout_ms > 0.0) watchdog_ = std::make_unique<Watchdog>();
+}
+
+SweepSupervisor::~SweepSupervisor() = default;
+
+void SweepSupervisor::load_journal(std::size_t job_count,
+                                   std::vector<std::string>& cached,
+                                   std::vector<SweepOutcome>& outcomes,
+                                   std::size_t& resumed) const {
+  std::ifstream in(options_.journal_path);
+  if (!in.is_open()) return;  // first run: nothing to resume yet
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  const std::string prefix = journal_prefix();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& entry = lines[i];
+    const bool last = i + 1 == lines.size();
+    // Frame check; a torn final line (crash mid-append) is expected and
+    // skipped, anything else means the journal is not ours to trust.
+    std::string fp;
+    std::size_t cell = job_count;
+    std::string outcome;
+    bool well_formed = entry.compare(0, prefix.size(), prefix) == 0;
+    if (well_formed) {
+      const std::size_t fp_end = entry.find('"', prefix.size());
+      well_formed = fp_end != std::string::npos;
+      if (well_formed) {
+        fp = entry.substr(prefix.size(), fp_end - prefix.size());
+        const std::string cell_key = "\",\"cell\":";
+        well_formed = entry.compare(fp_end, cell_key.size(), cell_key) == 0;
+        if (well_formed) {
+          std::size_t pos = fp_end + cell_key.size();
+          std::size_t digits = 0;
+          cell = 0;
+          while (pos < entry.size() && entry[pos] >= '0' &&
+                 entry[pos] <= '9') {
+            cell = cell * 10 + static_cast<std::size_t>(entry[pos] - '0');
+            ++pos;
+            ++digits;
+          }
+          const std::string outcome_key = ",\"outcome\":";
+          well_formed =
+              digits > 0 &&
+              entry.compare(pos, outcome_key.size(), outcome_key) == 0 &&
+              entry.back() == '}' && entry.size() > pos + outcome_key.size();
+          if (well_formed) {
+            outcome = entry.substr(pos + outcome_key.size(),
+                                   entry.size() - pos - outcome_key.size() -
+                                       1);
+            well_formed = !outcome.empty() && outcome.front() == '{' &&
+                          outcome.back() == '}';
+          }
+        }
+      }
+    }
+    if (!well_formed) {
+      if (last) break;  // torn tail from the crash; re-run that cell
+      MOCA_CHECK_MSG(false, "supervisor: corrupt journal line "
+                                << (i + 1) << " in '"
+                                << options_.journal_path << "'");
+    }
+    MOCA_CHECK_MSG(fp == fingerprint_,
+                   "supervisor: journal '"
+                       << options_.journal_path
+                       << "' was written by a different sweep (fingerprint "
+                       << fp << ", expected " << fingerprint_ << ")");
+    MOCA_CHECK_MSG(cell < job_count, "supervisor: journal cell "
+                                         << cell << " out of range (sweep has "
+                                         << job_count << " cells)");
+    if (cached[cell].empty()) ++resumed;
+    cached[cell] = outcome;
+
+    // Summary-only outcome for callers that inspect Result::outcomes; the
+    // full payload stays in the cached JSON.
+    SweepOutcome& out = outcomes[cell];
+    out.job_id = cell;
+    out.resumed = true;
+    std::string token;
+    if (extract_token(outcome, "label", token)) out.label = token;
+    if (extract_token(outcome, "ok", token)) out.ok = token == "true";
+    if (extract_token(outcome, "kind", token)) {
+      if (token == "failed") out.kind = SweepOutcome::FailureKind::kFailed;
+      else if (token == "timed_out")
+        out.kind = SweepOutcome::FailureKind::kTimedOut;
+      else if (token == "quarantined")
+        out.kind = SweepOutcome::FailureKind::kQuarantined;
+      else
+        out.kind = SweepOutcome::FailureKind::kNone;
+    }
+    if (extract_token(outcome, "attempts", token)) {
+      out.attempts = static_cast<std::uint32_t>(std::stoul(token));
+    }
+  }
+}
+
+SweepOutcome SweepSupervisor::supervise_cell(
+    std::size_t cell, const SweepJob& job,
+    const std::map<std::string, core::ClassifiedApp>& db) {
+  SweepOutcome out;
+  out.job_id = cell;
+  out.label = job.label;
+  const double start = now_ms();
+  std::uint32_t attempt = 0;
+  for (;;) {
+    Experiment experiment = job.experiment;
+    experiment.fault_attempt = attempt;
+    std::atomic<bool> cancel{false};
+    std::uint64_t token = 0;
+    if (watchdog_ != nullptr) {
+      experiment.cancel = &cancel;
+      token = watchdog_->arm(&cancel, options_.timeout_ms);
+    }
+    try {
+      out.result = run_workload(job.apps, job.choice, db, experiment);
+      if (token != 0) watchdog_->disarm(token);
+      out.ok = true;
+      out.kind = SweepOutcome::FailureKind::kNone;
+      out.error.clear();
+      break;
+    } catch (const CancelledError& e) {
+      // Timeouts never retry: a wedged configuration wedges every attempt
+      // and the budget is better spent on the remaining cells.
+      if (token != 0) watchdog_->disarm(token);
+      out.ok = false;
+      out.kind = SweepOutcome::FailureKind::kTimedOut;
+      out.error = e.what();
+      break;
+    } catch (const RetryableError& e) {
+      if (token != 0) watchdog_->disarm(token);
+      out.ok = false;
+      out.error = e.what();
+      if (attempt + 1 >= options_.max_attempts) {
+        out.kind = SweepOutcome::FailureKind::kQuarantined;
+        break;
+      }
+      if (options_.backoff_ms > 0.0) {
+        const double delay = options_.backoff_ms *
+                             static_cast<double>(std::uint64_t{1} << attempt);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+      }
+      ++attempt;
+      continue;
+    } catch (const std::exception& e) {
+      if (token != 0) watchdog_->disarm(token);
+      out.ok = false;
+      out.kind = SweepOutcome::FailureKind::kFailed;
+      out.error = e.what();
+      break;
+    }
+  }
+  out.attempts = attempt + 1;
+  out.wall_ms = now_ms() - start;
+  if (out.ok && out.wall_ms > 0.0) {
+    out.sim_instr_per_sec =
+        static_cast<double>(out.result.total_instructions) /
+        (out.wall_ms * 1e-3);
+  }
+  return out;
+}
+
+SweepSupervisor::Result SweepSupervisor::run(
+    const std::vector<SweepJob>& jobs,
+    const std::map<std::string, core::ClassifiedApp>& db) {
+  fingerprint_ = sweep_fingerprint(jobs);
+
+  Result result;
+  result.outcomes.resize(jobs.size());
+  std::vector<std::string> cached(jobs.size());
+  if (options_.resume) {
+    load_journal(jobs.size(), cached, result.outcomes,
+                 result.resumed_cells);
+  }
+
+  std::ofstream journal;
+  std::mutex journal_mutex;
+  if (!options_.journal_path.empty()) {
+    // Fresh sweeps truncate so stale cells from an unrelated earlier run
+    // can never leak into a later resume; resumes append.
+    journal.open(options_.journal_path,
+                 options_.resume ? std::ios::app : std::ios::trunc);
+    MOCA_CHECK_MSG(journal.is_open(), "supervisor: cannot open journal '"
+                                          << options_.journal_path << "'");
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (cached[i].empty()) pending.push_back(i);
+  }
+
+  runner_.for_each_index(pending.size(), [&](std::size_t slot) {
+    const std::size_t cell = pending[slot];
+    SweepOutcome out = supervise_cell(cell, jobs[cell], db);
+    const std::string json = to_deterministic_json(out);
+    if (journal.is_open()) {
+      // One flushed line per cell: after a kill, everything before the
+      // (possibly torn) final line is recoverable.
+      std::lock_guard lock(journal_mutex);
+      journal << journal_line(fingerprint_, cell, json) << '\n'
+              << std::flush;
+    }
+    cached[cell] = json;                    // distinct cells, no race
+    result.outcomes[cell] = std::move(out);
+  });
+
+  result.report = sweep_report_json(cached);
+  return result;
+}
+
+}  // namespace moca::sim

@@ -1,0 +1,110 @@
+// Supervised sweeps: wall-clock timeouts, bounded retry with backoff,
+// quarantine and crash-safe resume on top of SweepRunner.
+//
+// The plain SweepRunner runs every cell exactly once and captures failures
+// as text; for the paper-scale sweeps behind Figs. 8-15 that is not enough:
+// a wedged cell stalls the whole sweep, a transient fault kills a cell that
+// a retry would have saved, and a killed process loses every finished
+// cell. The supervisor adds, per cell:
+//
+//   timeout     a watchdog thread arms a per-attempt deadline; when it
+//               expires it sets the job's cooperative cancellation flag and
+//               System::run throws CancelledError (kind = timed_out).
+//   retry       attempts failing with RetryableError re-run (with
+//               exponential backoff) up to max_attempts; the retry ordinal
+//               feeds Experiment::fault_attempt so `attempts=k` fault
+//               clauses model genuinely transient faults. A cell whose
+//               retries are exhausted is quarantined, not retried forever.
+//   journal     every finished cell appends one line to an append-only
+//               journal and flushes before the next cell can complete; a
+//               killed sweep restarted with resume=true re-runs only the
+//               cells missing from the journal and splices the finished
+//               ones back in, byte-identical to an uninterrupted run.
+//
+// Everything that lands in the journal or the merged report is produced by
+// sim::to_deterministic_json, so the report bytes depend only on simulated
+// state — never on worker count, kill points or host timing
+// (docs/robustness.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.h"
+
+namespace moca::sim {
+
+struct SupervisorOptions {
+  /// Per-attempt wall-clock budget in milliseconds; 0 disables the
+  /// watchdog (jobs can run forever, as under the plain runner).
+  double timeout_ms = 0.0;
+  /// Attempts per cell (first try + retries) for RetryableError failures;
+  /// clamped to >= 1. Timeouts and permanent errors never retry.
+  std::uint32_t max_attempts = 3;
+  /// Base host-side backoff before the first retry, doubling per further
+  /// retry; 0 retries immediately (the deterministic default — tests rely
+  /// on retry behaviour being timing-independent).
+  double backoff_ms = 0.0;
+  /// Append-only journal path; empty runs without crash safety.
+  std::string journal_path;
+  /// Load finished cells from journal_path before running (crash
+  /// recovery). Requires journal_path.
+  bool resume = false;
+};
+
+/// Drives supervised jobs over a SweepRunner pool. The runner reference
+/// must outlive the supervisor.
+class SweepSupervisor {
+ public:
+  SweepSupervisor(SweepRunner& runner, SupervisorOptions options);
+  ~SweepSupervisor();
+
+  SweepSupervisor(const SweepSupervisor&) = delete;
+  SweepSupervisor& operator=(const SweepSupervisor&) = delete;
+
+  struct Result {
+    /// Outcomes in submission order. Resumed cells carry only the summary
+    /// fields (job_id, label, ok, kind, attempts; resumed == true).
+    std::vector<SweepOutcome> outcomes;
+    /// Deterministic merged sweep report,
+    /// {"schema_version":3,"outcomes":[...]}: byte-identical for any
+    /// worker count and for any kill/resume split of the same sweep.
+    std::string report;
+    /// Cells recovered from the journal instead of re-run.
+    std::size_t resumed_cells = 0;
+  };
+
+  /// Runs (or resumes) the sweep. Throws CheckError when the journal is
+  /// unusable: a corrupt non-final line, a cell index out of range, or a
+  /// fingerprint recorded for a different sweep definition. A partial
+  /// final line (the crash happened mid-write) is discarded silently.
+  [[nodiscard]] Result run(
+      const std::vector<SweepJob>& jobs,
+      const std::map<std::string, core::ClassifiedApp>& db);
+
+ private:
+  class Watchdog;
+
+  [[nodiscard]] SweepOutcome supervise_cell(
+      std::size_t cell, const SweepJob& job,
+      const std::map<std::string, core::ClassifiedApp>& db);
+  void load_journal(std::size_t job_count,
+                    std::vector<std::string>& cached,
+                    std::vector<SweepOutcome>& outcomes,
+                    std::size_t& resumed) const;
+
+  SweepRunner& runner_;
+  SupervisorOptions options_;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::string fingerprint_;
+};
+
+/// Stable hex fingerprint of a sweep definition (jobs + the experiment
+/// fields that affect simulated results). Written into every journal line
+/// so resume refuses to merge cells from a different sweep.
+[[nodiscard]] std::string sweep_fingerprint(const std::vector<SweepJob>& jobs);
+
+}  // namespace moca::sim

@@ -1,5 +1,6 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/table.h"
@@ -25,6 +27,21 @@ double now_ms() {
 }
 
 }  // namespace
+
+std::string to_string(SweepOutcome::FailureKind kind) {
+  switch (kind) {
+    case SweepOutcome::FailureKind::kNone:
+      return "none";
+    case SweepOutcome::FailureKind::kFailed:
+      return "failed";
+    case SweepOutcome::FailureKind::kTimedOut:
+      return "timed_out";
+    case SweepOutcome::FailureKind::kQuarantined:
+      return "quarantined";
+  }
+  MOCA_CHECK_MSG(false, "unknown FailureKind");
+  return {};
+}
 
 unsigned SweepRunner::resolve_workers(unsigned requested) {
   if (requested != 0) return requested;
@@ -48,33 +65,54 @@ void SweepRunner::for_each_index(
   if (count == 0) return;
   const unsigned pool =
       static_cast<unsigned>(std::min<std::size_t>(workers_, count));
-  if (pool <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
 
-  WorkQueue<std::size_t> queue;
-  for (std::size_t i = 0; i < count; ++i) queue.push(i);
-  queue.close();
-
+  // Per-slot error capture shared by the serial and pooled paths: every
+  // slot runs, and everything that failed is reported — not just the
+  // first error (which used to silently discard the rest).
   std::mutex error_mutex;
+  std::vector<std::pair<std::size_t, std::string>> errors;
   std::exception_ptr first_error;
-  auto worker = [&] {
-    while (auto index = queue.pop()) {
-      try {
-        fn(*index);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+  const auto guarded = [&](std::size_t index) {
+    try {
+      fn(index);
+    } catch (const std::exception& e) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      errors.emplace_back(index, e.what());
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      errors.emplace_back(index, "unknown exception");
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(pool);
-  for (unsigned t = 0; t < pool; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (pool <= 1) {
+    for (std::size_t i = 0; i < count; ++i) guarded(i);
+  } else {
+    WorkQueue<std::size_t> queue;
+    for (std::size_t i = 0; i < count; ++i) queue.push(i);
+    queue.close();
+    auto worker = [&] {
+      while (auto index = queue.pop()) guarded(*index);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (unsigned t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  if (errors.empty()) return;
+  // A lone failure keeps its original type (callers may dispatch on it);
+  // multiple failures aggregate into one message, in slot order so the
+  // text is independent of completion order.
+  if (errors.size() == 1) std::rethrow_exception(first_error);
+  std::sort(errors.begin(), errors.end());
+  std::ostringstream os;
+  os << errors.size() << " of " << count << " slots failed:";
+  for (const auto& [slot, what] : errors) {
+    os << "\n  slot " << slot << ": " << what;
+  }
+  throw CheckError(os.str());
 }
 
 std::vector<SweepOutcome> SweepRunner::run(
@@ -96,6 +134,7 @@ std::vector<SweepOutcome> SweepRunner::run(
       out.ok = true;
     } catch (const std::exception& e) {
       out.ok = false;
+      out.kind = SweepOutcome::FailureKind::kFailed;
       out.error = e.what();
     }
     out.wall_ms = now_ms() - start;

@@ -36,9 +36,23 @@ struct SweepJob {
 
 /// Result of one job, in submission order.
 struct SweepOutcome {
+  /// Typed failure classification (docs/robustness.md). kNone for ok
+  /// outcomes; the plain SweepRunner only produces kFailed, the
+  /// SweepSupervisor adds kTimedOut (wall-clock watchdog fired) and
+  /// kQuarantined (retryable error outlived the retry budget).
+  enum class FailureKind : std::uint8_t {
+    kNone,
+    kFailed,
+    kTimedOut,
+    kQuarantined,
+  };
+
   std::size_t job_id = 0;  // index into the submitted job list
   std::string label;
   bool ok = false;
+  FailureKind kind = FailureKind::kNone;
+  /// Attempts consumed (>= 2 only when the supervisor retried the job).
+  std::uint32_t attempts = 1;
   std::string error;  // what() of the captured exception when !ok
   /// Valid only when ok. Includes the job's observability payload
   /// (epoch time-series + trace events) when the experiment enabled it;
@@ -49,7 +63,16 @@ struct SweepOutcome {
   /// from determinism comparisons).
   double wall_ms = 0.0;
   double sim_instr_per_sec = 0.0;
+  /// True when this cell was not re-run but recovered from a resume
+  /// journal (supervised sweeps). Only job_id/label/ok/kind/attempts are
+  /// populated then; the full result lives in the journal entry that the
+  /// merged report splices back in. Never serialized.
+  bool resumed = false;
 };
+
+/// Journal/report spelling of a FailureKind ("none", "failed",
+/// "timed_out", "quarantined").
+[[nodiscard]] std::string to_string(SweepOutcome::FailureKind kind);
 
 /// Fixed-size worker pool executing sweep jobs concurrently.
 class SweepRunner {
@@ -72,10 +95,11 @@ class SweepRunner {
       const std::vector<SweepJob>& jobs,
       const std::map<std::string, core::ClassifiedApp>& db);
 
-  /// Generic fan-out: applies `fn(i)` for i in [0, count) on the pool and
-  /// returns the results in index order. Exceptions propagate per-slot via
-  /// the SweepOutcome-style contract of `run`; here a throwing fn rethrows
-  /// after all slots finish (first error wins). Building block for
+  /// Generic fan-out: applies `fn(i)` for i in [0, count) on the pool.
+  /// Every slot runs even when some throw; after all slots finish, a
+  /// single failure rethrows the original exception unchanged while
+  /// multiple failures throw one CheckError aggregating every slot's
+  /// error (slot index + message, in slot order). Building block for
   /// sweep-shaped work that is not a (apps, choice) cell, e.g. profiling.
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& fn);

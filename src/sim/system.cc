@@ -32,6 +32,12 @@ System::System(const MemSystemConfig& memsys,
   MOCA_CHECK(!apps_.empty());
   MOCA_CHECK(!memsys_.modules.empty());
 
+  if (!options_.faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(
+        options_.faults, options_.fault_seed, options_.fault_attempt);
+    injector_->set_clock([this] { return events_.now(); });
+  }
+
   for (const ModuleSpec& spec : memsys_.modules) {
     dram::DeviceConfig device = dram::make_device(spec.kind);
     if (spec.interleave_granule_bytes != 0) {
@@ -41,8 +47,10 @@ System::System(const MemSystemConfig& memsys,
     modules_.push_back(std::make_unique<dram::MemoryModule>(
         std::move(device), spec.capacity_bytes, spec.attached_channels,
         events_, spec.name));
+    modules_.back()->set_fault_injector(injector_.get());
     phys_.add_module(modules_.back().get());
   }
+  phys_.set_fault_injector(injector_.get());
   os_ = std::make_unique<os::Os>(phys_, *policy_);
 
   if (options_.migration.has_value()) {
@@ -90,6 +98,7 @@ System::System(const MemSystemConfig& memsys,
     pc.allocator = std::make_unique<core::MocaAllocator>(
         os_->address_space(pc.pid), registry_,
         app.classes.has_value() ? &*app.classes : nullptr);
+    pc.allocator->set_fault_injector(injector_.get());
     pc.stream = std::make_unique<workload::AppStream>(
         app.spec, app.scale, app.seed, *pc.allocator,
         os_->address_space(pc.pid));
@@ -138,6 +147,10 @@ std::uint64_t System::total_committed() const {
 }
 
 void System::register_observability() {
+  if (options_.observability.audit) {
+    auditor_ = std::make_unique<os::Auditor>(
+        *os_, [this] { return registry_.live_ranges(); });
+  }
   if (options_.observability.epoch_instructions > 0) {
     for (std::size_t i = 0; i < cores_.size(); ++i) {
       const std::string prefix = "core" + std::to_string(i);
@@ -162,6 +175,12 @@ void System::register_observability() {
     registry_.register_stats(stat_registry_, "alloc");
     if (migrator_ != nullptr) {
       migrator_->register_stats(stat_registry_, "migration");
+    }
+    if (injector_ != nullptr) {
+      injector_->register_stats(stat_registry_, "faults");
+    }
+    if (auditor_ != nullptr) {
+      auditor_->register_stats(stat_registry_, "os/audit");
     }
     series_ = std::make_unique<EpochSeries>(stat_registry_);
     next_epoch_boundary_ = options_.observability.epoch_instructions;
@@ -191,6 +210,7 @@ void System::register_observability() {
 
 void System::epoch_tick() {
   if (sampling_stopped_) return;
+  if (auditor_ != nullptr) auditor_->run_audit();
   if (options_.observability.trace) {
     const os::OsStats& os_stats = os_->stats();
     const std::uint64_t fallbacks =
@@ -266,6 +286,9 @@ void System::pretouch_pages() {
 System::~System() = default;
 
 RunResult System::run() {
+  // Transient whole-job faults fire before any simulation work so the
+  // supervisor's retry replays the attempt from scratch.
+  if (injector_ != nullptr) injector_->maybe_fail_job();
   // Generous deadlock guard: no workload should run below IPC 0.005.
   const Cycle cycle_limit =
       static_cast<Cycle>(options_.instructions_per_core +
@@ -293,6 +316,15 @@ RunResult System::run() {
       }
     }
     while (!running.empty()) {
+      // Cooperative cancellation (supervised wall-clock timeout). The mask
+      // keeps the poll off the per-cycle fast path; 4096 cycles is ~1.3 us
+      // simulated, far below any meaningful timeout granularity.
+      if (options_.cancel != nullptr && (cycle & 4095) == 0 &&
+          options_.cancel->load(std::memory_order_relaxed)) {
+        throw CancelledError("simulation cancelled at cycle " +
+                             std::to_string(cycle) +
+                             " (supervised timeout)");
+      }
       events_.run_until(cycle_to_ps(cycle));
       for (std::size_t r = 0; r < running.size();) {
         const std::size_t i = running[r];
@@ -360,6 +392,9 @@ RunResult System::run() {
   // Drain in-flight memory traffic so module counters are complete; the
   // drain happens after every finish timestamp, so no metric includes it.
   events_.run_until(cycle_to_ps(cycle) + 50'000'000);
+  // Final audit over the settled end state (mappings, free lists and the
+  // object LUT are all quiescent here).
+  if (auditor_ != nullptr) auditor_->run_audit();
 
   RunResult result;
   result.memsys_name = memsys_.name;

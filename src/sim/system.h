@@ -1,6 +1,7 @@
 // Full-system assembly: cores + caches + OS + heterogeneous memory.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -8,12 +9,14 @@
 
 #include "cache/hierarchy.h"
 #include "common/event_queue.h"
+#include "common/fault_injection.h"
 #include "cpu/core.h"
 #include "dram/module.h"
 #include "moca/allocator.h"
 #include "moca/classifier.h"
 #include "moca/object_registry.h"
 #include "moca/profiler.h"
+#include "os/auditor.h"
 #include "os/migration.h"
 #include "os/os.h"
 #include "os/physical_memory.h"
@@ -48,6 +51,16 @@ struct SystemOptions {
   /// Epoch stat sampling + phase tracing; disabled by default, in which
   /// case no probes are registered and run() behaves exactly as before.
   ObservabilityOptions observability;
+  /// Fault plan armed for this simulation; empty = no injector, no cost.
+  FaultPlan faults;
+  /// Seed deriving every stochastic fault stream (callers pass the
+  /// experiment's reference seed) and the supervised-retry ordinal gating
+  /// `attempts=k` clauses.
+  std::uint64_t fault_seed = 0;
+  std::uint32_t fault_attempt = 0;
+  /// Cooperative cancellation flag: run() polls it and throws
+  /// CancelledError once it is true. Null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One application bound to one core.
@@ -147,6 +160,11 @@ class System {
   SystemOptions options_;
   std::vector<AppInstance> apps_;
   EventQueue events_;
+  /// Armed fault state (null when options_.faults is empty). Created
+  /// before the modules so every component can hold a pointer to it.
+  std::unique_ptr<FaultInjector> injector_;
+  /// Invariant auditor (null unless options_.observability.audit).
+  std::unique_ptr<os::Auditor> auditor_;
   std::vector<std::unique_ptr<dram::MemoryModule>> modules_;
   os::PhysicalMemory phys_;
   std::unique_ptr<os::AllocationPolicy> policy_;

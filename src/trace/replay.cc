@@ -1,5 +1,6 @@
 #include "trace/replay.h"
 
+#include <optional>
 #include <vector>
 
 #include "cache/hierarchy.h"
@@ -12,6 +13,45 @@
 #include "trace/trace.h"
 
 namespace moca::trace {
+namespace {
+
+/// ReplayStream variant consulting a FaultInjector per record: a truncate
+/// clause makes the stream wrap early (as if the file ended at record k), a
+/// corrupt clause throws RetryableError when its record is read.
+class FaultedReplayStream final : public cpu::OpStream {
+ public:
+  FaultedReplayStream(TraceReader& reader, FaultInjector& injector)
+      : reader_(reader), injector_(injector) {}
+
+  cpu::MicroOp next() override {
+    switch (injector_.trace_fault(index_)) {
+      case FaultInjector::TraceFault::kCorrupt:
+        throw RetryableError("fault injection: trace record " +
+                             std::to_string(index_) + " corrupted");
+      case FaultInjector::TraceFault::kTruncate:
+        reader_.rewind();
+        index_ = 0;
+        break;
+      case FaultInjector::TraceFault::kNone:
+        break;
+    }
+    cpu::MicroOp op;
+    if (!reader_.next(op)) {
+      reader_.rewind();
+      index_ = 0;
+      MOCA_CHECK(reader_.next(op));
+    }
+    ++index_;
+    return op;
+  }
+
+ private:
+  TraceReader& reader_;
+  FaultInjector& injector_;
+  std::uint64_t index_ = 0;  // position of the next record within the file
+};
+
+}  // namespace
 
 ReplayResult replay_trace(const std::string& trace_path,
                           const sim::MemSystemConfig& memsys,
@@ -20,7 +60,14 @@ ReplayResult replay_trace(const std::string& trace_path,
   MOCA_CHECK(policy != nullptr);
   TraceReader reader(trace_path);
   MOCA_CHECK_MSG(reader.count() > 0, "empty trace: " << trace_path);
-  ReplayStream stream(reader);
+  ReplayStream plain_stream(reader);
+  std::optional<FaultedReplayStream> faulted_stream;
+  if (options.injector != nullptr) {
+    faulted_stream.emplace(reader, *options.injector);
+  }
+  cpu::OpStream& stream =
+      faulted_stream ? static_cast<cpu::OpStream&>(*faulted_stream)
+                     : static_cast<cpu::OpStream&>(plain_stream);
 
   EventQueue events;
   std::vector<std::unique_ptr<dram::MemoryModule>> modules;
@@ -29,7 +76,13 @@ ReplayResult replay_trace(const std::string& trace_path,
     modules.push_back(std::make_unique<dram::MemoryModule>(
         dram::make_device(spec.kind), spec.capacity_bytes,
         spec.attached_channels, events, spec.name));
+    modules.back()->set_fault_injector(options.injector);
     phys.add_module(modules.back().get());
+  }
+  phys.set_fault_injector(options.injector);
+  if (options.injector != nullptr) {
+    options.injector->set_clock([&events] { return events.now(); });
+    options.injector->maybe_fail_job();
   }
   os::Os os(phys, *policy);
   const os::ProcessId pid = os.create_process();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/time.h"
 #include "cpu/core.h"
 #include "os/policy.h"
@@ -14,6 +15,9 @@ namespace moca::trace {
 struct ReplayOptions {
   std::uint64_t instructions = 0;  // 0: one full pass over the trace
   cpu::CoreParams core_params;
+  /// Armed fault injector (trace:truncate / trace:corrupt clauses apply to
+  /// the replayed record stream). Null disables injection.
+  FaultInjector* injector = nullptr;
 };
 
 struct ReplayResult {

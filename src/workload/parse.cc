@@ -1,6 +1,8 @@
 #include "workload/parse.h"
 
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -9,46 +11,102 @@ namespace moca::workload {
 
 namespace {
 
-[[nodiscard]] PatternKind pattern_from(const std::string& s) {
+/// Whitespace tokenizer that remembers where every token started, so each
+/// parse error names the line, the 1-based column and the offending text —
+/// "line 7, col 23: ... (near 'wieght=2')" instead of just "bad number".
+class LineTokenizer {
+ public:
+  LineTokenizer(std::string line, int line_no)
+      : line_(std::move(line)), line_no_(line_no) {}
+
+  /// Next whitespace-delimited token, or nullopt at end of line.
+  [[nodiscard]] std::optional<std::string> next() {
+    while (pos_ < line_.size() && is_space(line_[pos_])) ++pos_;
+    if (pos_ >= line_.size()) return std::nullopt;
+    token_col_ = pos_ + 1;
+    const std::size_t begin = pos_;
+    while (pos_ < line_.size() && !is_space(line_[pos_])) ++pos_;
+    last_token_ = line_.substr(begin, pos_ - begin);
+    return last_token_;
+  }
+
+  /// Requires a token; `what` names the missing piece in the diagnostic.
+  [[nodiscard]] std::string expect(const std::string& what) {
+    auto token = next();
+    if (!token.has_value()) {
+      // Point one past the line end: the problem is what is NOT there.
+      token_col_ = static_cast<int>(line_.size()) + 1;
+      last_token_.clear();
+      fail("expected " + what + " but the line ended");
+    }
+    return *token;
+  }
+
+  /// Throws CheckError anchored at the most recently read token.
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream os;
+    os << "line " << line_no_ << ", col " << token_col_ << ": " << message;
+    if (!last_token_.empty()) os << " (near '" << last_token_ << "')";
+    throw CheckError(os.str());
+  }
+
+ private:
+  [[nodiscard]] static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  }
+
+  std::string line_;
+  int line_no_ = 0;
+  std::size_t pos_ = 0;
+  int token_col_ = 1;
+  std::string last_token_;
+};
+
+[[nodiscard]] PatternKind pattern_from(const std::string& s,
+                                       const LineTokenizer& tz) {
   if (s == "chase") return PatternKind::kChase;
   if (s == "stream") return PatternKind::kStream;
   if (s == "stride") return PatternKind::kStride;
   if (s == "sweep") return PatternKind::kSweep;
   if (s == "random") return PatternKind::kRandom;
   if (s == "hot") return PatternKind::kHot;
-  MOCA_CHECK_MSG(false, "unknown pattern: " << s);
-  return PatternKind::kHot;
+  tz.fail("unknown pattern '" + s +
+          "' (use chase/stream/stride/sweep/random/hot)");
 }
 
-[[nodiscard]] os::MemClass class_from(const std::string& s) {
+[[nodiscard]] os::MemClass class_from(const std::string& s,
+                                      const LineTokenizer& tz) {
   if (s == "L") return os::MemClass::kLatency;
   if (s == "B") return os::MemClass::kBandwidth;
   if (s == "N") return os::MemClass::kNonIntensive;
-  MOCA_CHECK_MSG(false, "unknown class: " << s << " (use L, B or N)");
-  return os::MemClass::kNonIntensive;
+  tz.fail("unknown class '" + s + "' (use L, B or N)");
 }
 
-[[nodiscard]] double parse_double(const std::string& s) {
+[[nodiscard]] double parse_double(const std::string& s,
+                                  const LineTokenizer& tz) {
   try {
     std::size_t used = 0;
     const double v = std::stod(s, &used);
-    MOCA_CHECK_MSG(used == s.size(), "bad number: " << s);
+    if (used != s.size()) tz.fail("malformed number '" + s + "'");
     return v;
+  } catch (const CheckError&) {
+    throw;
   } catch (const std::logic_error&) {
-    MOCA_CHECK_MSG(false, "bad number: " << s);
-    return 0.0;
+    tz.fail("malformed number '" + s + "'");
   }
 }
 
-[[nodiscard]] std::uint64_t parse_u64(const std::string& s) {
+[[nodiscard]] std::uint64_t parse_u64(const std::string& s,
+                                      const LineTokenizer& tz) {
   try {
     std::size_t used = 0;
     const unsigned long long v = std::stoull(s, &used);
-    MOCA_CHECK_MSG(used == s.size(), "bad integer: " << s);
+    if (used != s.size()) tz.fail("malformed integer '" + s + "'");
     return v;
+  } catch (const CheckError&) {
+    throw;
   } catch (const std::logic_error&) {
-    MOCA_CHECK_MSG(false, "bad integer: " << s);
-    return 0;
+    tz.fail("malformed integer '" + s + "'");
   }
 }
 
@@ -73,83 +131,65 @@ AppSpec parse_app_spec(const std::string& text) {
   while (std::getline(in, raw)) {
     ++line_no;
     const std::size_t hash = raw.find('#');
-    const std::string line = hash == std::string::npos
-                                 ? raw
-                                 : raw.substr(0, hash);
-    std::istringstream ls(line);
-    std::string key;
-    if (!(ls >> key)) continue;  // blank/comment line
+    LineTokenizer tz(hash == std::string::npos ? raw : raw.substr(0, hash),
+                     line_no);
+    const auto maybe_key = tz.next();
+    if (!maybe_key.has_value()) continue;  // blank/comment line
+    const std::string& key = *maybe_key;
 
     if (key == "app") {
-      MOCA_CHECK_MSG(ls >> app.name, "line " << line_no << ": app needs a name");
+      app.name = tz.expect("an app name");
       ordinal = ordinal_for(app.name);
       saw_app = true;
     } else if (key == "class") {
-      std::string cls;
-      MOCA_CHECK_MSG(ls >> cls, "line " << line_no << ": class needs L/B/N");
-      app.expected_class = class_from(cls);
+      app.expected_class = class_from(tz.expect("a class (L/B/N)"), tz);
     } else if (key == "mem_fraction") {
-      std::string v;
-      MOCA_CHECK(ls >> v);
-      app.mem_fraction = parse_double(v);
+      app.mem_fraction = parse_double(tz.expect("a fraction"), tz);
     } else if (key == "stack_fraction") {
-      std::string v;
-      MOCA_CHECK(ls >> v);
-      app.stack_fraction = parse_double(v);
+      app.stack_fraction = parse_double(tz.expect("a fraction"), tz);
     } else if (key == "code_fraction") {
-      std::string v;
-      MOCA_CHECK(ls >> v);
-      app.code_fraction = parse_double(v);
+      app.code_fraction = parse_double(tz.expect("a fraction"), tz);
     } else if (key == "stack_kib") {
-      std::string v;
-      MOCA_CHECK(ls >> v);
-      app.stack_bytes = parse_u64(v) * KiB;
+      app.stack_bytes = parse_u64(tz.expect("a size in KiB"), tz) * KiB;
     } else if (key == "code_kib") {
-      std::string v;
-      MOCA_CHECK(ls >> v);
-      app.code_bytes = parse_u64(v) * KiB;
+      app.code_bytes = parse_u64(tz.expect("a size in KiB"), tz) * KiB;
     } else if (key == "object") {
-      MOCA_CHECK_MSG(saw_app, "line " << line_no << ": object before app");
+      if (!saw_app) tz.fail("'object' before the 'app' line");
       ObjectSpec o;
-      std::string size_mib, pattern;
-      MOCA_CHECK_MSG(ls >> o.label >> size_mib >> pattern,
-                     "line " << line_no
-                             << ": object needs <label> <mib> <pattern>");
-      o.bytes = parse_u64(size_mib) * MiB;
-      o.pattern = pattern_from(pattern);
+      o.label = tz.expect("an object label");
+      o.bytes = parse_u64(tz.expect("a size in MiB"), tz) * MiB;
+      o.pattern = pattern_from(tz.expect("an access pattern"), tz);
       std::uint32_t depth = 3;
       bool saw_weight = false;
-      std::string kv;
-      while (ls >> kv) {
+      while (const auto maybe_kv = tz.next()) {
+        const std::string& kv = *maybe_kv;
         const std::size_t eq = kv.find('=');
-        MOCA_CHECK_MSG(eq != std::string::npos,
-                       "line " << line_no << ": expected key=value: " << kv);
+        if (eq == std::string::npos) tz.fail("expected key=value");
         const std::string k = kv.substr(0, eq);
         const std::string v = kv.substr(eq + 1);
         if (k == "weight") {
-          o.weight = parse_double(v);
+          o.weight = parse_double(v, tz);
           saw_weight = true;
         } else if (k == "hot") {
-          o.hot_fraction = parse_double(v);
+          o.hot_fraction = parse_double(v, tz);
         } else if (k == "store") {
-          o.store_fraction = parse_double(v);
+          o.store_fraction = parse_double(v, tz);
         } else if (k == "stride") {
-          o.stride = static_cast<std::uint32_t>(parse_u64(v));
+          o.stride = static_cast<std::uint32_t>(parse_u64(v, tz));
         } else if (k == "lifetime") {
-          o.lifetime_accesses = parse_u64(v);
+          o.lifetime_accesses = parse_u64(v, tz);
         } else if (k == "depth") {
-          depth = static_cast<std::uint32_t>(parse_u64(v));
+          depth = static_cast<std::uint32_t>(parse_u64(v, tz));
         } else {
-          MOCA_CHECK_MSG(false, "line " << line_no << ": unknown key: " << k);
+          tz.fail("unknown object key '" + k + "'");
         }
       }
-      MOCA_CHECK_MSG(saw_weight,
-                     "line " << line_no << ": object needs weight=");
+      if (!saw_weight) tz.fail("object '" + o.label + "' needs weight=");
       o.alloc_stack = make_alloc_stack(
           ordinal, static_cast<std::uint32_t>(app.objects.size()), depth);
       app.objects.push_back(std::move(o));
     } else {
-      MOCA_CHECK_MSG(false, "line " << line_no << ": unknown key: " << key);
+      tz.fail("unknown key '" + key + "'");
     }
   }
   MOCA_CHECK_MSG(saw_app, "spec has no 'app' line");

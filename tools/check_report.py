@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Validates a schema-v2 simulator report (and optionally a Chrome trace).
+"""Validates schema-v3 simulator artifacts.
 
-CI smoke for the observability layer: run a small slice with sampling on,
-then check the emitted JSON is well-formed and actually carries the
-time-series the flags asked for.
+CI smoke for the observability + robustness layers. Three modes:
 
-  tools/check_report.py report.json --require-timeseries --trace trace.json
+  tools/check_report.py report.json [--require-timeseries] [--trace t.json]
+      single run-result report (moca_cli run --json)
+  tools/check_report.py sweep.json --sweep [--expect-cells N]
+      supervised sweep report (moca_cli compare --json with supervision):
+      schema envelope, typed failure kinds, attempts fields
+  tools/check_report.py sweep.jsonl --journal [--expect-cells N]
+      supervised-sweep resume journal: one framed entry per line, a
+      consistent fingerprint, outcome payloads shaped like sweep outcomes
 
 Exits non-zero with a message on the first violation.
 """
@@ -13,8 +18,10 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+JOURNAL_VERSION = 1
 KINDS = {"counter", "gauge", "rate", "ratio"}
+FAILURE_KINDS = {"none", "failed", "timed_out", "quarantined"}
 
 
 def fail(msg):
@@ -73,13 +80,107 @@ def check_trace(path):
         fail(f"{path}: 'measured' phase event missing")
 
 
+def check_outcome(outcome, where):
+    """Typed failure fields every schema-v3 sweep outcome must carry."""
+    if "job_id" not in outcome:
+        fail(f"{where}: job_id missing")
+    if not isinstance(outcome.get("ok"), bool):
+        fail(f"{where}: ok missing or not a bool")
+    kind = outcome.get("kind")
+    if kind not in FAILURE_KINDS:
+        fail(f"{where}: kind is {kind!r}, expected one of "
+             f"{sorted(FAILURE_KINDS)}")
+    if outcome["ok"] != (kind == "none"):
+        fail(f"{where}: ok={outcome['ok']} inconsistent with kind={kind!r}")
+    attempts = outcome.get("attempts")
+    if not isinstance(attempts, int) or attempts < 1:
+        fail(f"{where}: attempts is {attempts!r}, expected integer >= 1")
+    if outcome["ok"]:
+        result = outcome.get("result")
+        if not isinstance(result, dict):
+            fail(f"{where}: ok outcome has no result object")
+        if result.get("schema_version") != SCHEMA_VERSION:
+            fail(f"{where}: result schema_version is "
+                 f"{result.get('schema_version')!r}, "
+                 f"expected {SCHEMA_VERSION}")
+    elif not outcome.get("error"):
+        fail(f"{where}: failed outcome has no error text")
+
+
+def check_sweep(path, expect_cells):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema_version") != SCHEMA_VERSION:
+        fail(f"sweep schema_version is {report.get('schema_version')!r}, "
+             f"expected {SCHEMA_VERSION}")
+    outcomes = report.get("outcomes")
+    if not isinstance(outcomes, list) or not outcomes:
+        fail("sweep outcomes missing or empty")
+    if expect_cells is not None and len(outcomes) != expect_cells:
+        fail(f"sweep has {len(outcomes)} outcomes, expected {expect_cells}")
+    for i, outcome in enumerate(outcomes):
+        if outcome.get("job_id") != i:
+            fail(f"outcome {i} has job_id {outcome.get('job_id')} "
+                 "(submission order violated)")
+        check_outcome(outcome, f"outcome {i}")
+    print(f"check_report: OK ({len(outcomes)} sweep outcomes)")
+
+
+def check_journal(path, expect_cells):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln]
+    if not lines:
+        fail("journal is empty")
+    fingerprints = set()
+    cells = set()
+    for i, line in enumerate(lines):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                continue  # torn final line: legal crash artifact
+            fail(f"journal line {i + 1} is not valid JSON")
+        if entry.get("journal_version") != JOURNAL_VERSION:
+            fail(f"journal line {i + 1}: journal_version is "
+                 f"{entry.get('journal_version')!r}, "
+                 f"expected {JOURNAL_VERSION}")
+        fp = entry.get("fingerprint")
+        if not isinstance(fp, str) or len(fp) != 16:
+            fail(f"journal line {i + 1}: malformed fingerprint {fp!r}")
+        fingerprints.add(fp)
+        cell = entry.get("cell")
+        if not isinstance(cell, int) or cell < 0:
+            fail(f"journal line {i + 1}: malformed cell {cell!r}")
+        cells.add(cell)
+        check_outcome(entry.get("outcome") or {}, f"journal line {i + 1}")
+    if len(fingerprints) > 1:
+        fail(f"journal mixes fingerprints: {sorted(fingerprints)}")
+    if expect_cells is not None and cells != set(range(expect_cells)):
+        fail(f"journal covers cells {sorted(cells)}, "
+             f"expected 0..{expect_cells - 1}")
+    print(f"check_report: OK ({len(cells)} journal cells)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", help="schema-v2 run-result JSON file")
+    parser.add_argument("report", help="JSON report (or journal) to check")
     parser.add_argument("--require-timeseries", action="store_true",
                         help="fail unless a non-empty timeseries is present")
     parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
+    parser.add_argument("--sweep", action="store_true",
+                        help="treat the input as a supervised sweep report")
+    parser.add_argument("--journal", action="store_true",
+                        help="treat the input as a resume journal (JSONL)")
+    parser.add_argument("--expect-cells", type=int,
+                        help="required cell count (--sweep/--journal)")
     args = parser.parse_args()
+
+    if args.sweep:
+        check_sweep(args.report, args.expect_cells)
+        return
+    if args.journal:
+        check_journal(args.report, args.expect_cells)
+        return
 
     with open(args.report) as f:
         report = json.load(f)

@@ -23,6 +23,7 @@
 #include "sim/experiment_options.h"
 #include "sim/report.h"
 #include "sim/runner.h"
+#include "sim/supervisor.h"
 #include "sim/sweep.h"
 #include "trace/record.h"
 #include "trace/replay.h"
@@ -212,6 +213,32 @@ int cmd_compare(const ParsedArgs& args) {
     job.label = sim::to_string(choice);
     jobs.push_back(std::move(job));
   }
+  // Supervision knobs (--timeout-ms/--retries/--journal/--resume) route
+  // the sweep through the supervisor: per-job watchdog, retry/quarantine
+  // and the crash-safe journal (docs/robustness.md).
+  if (options.supervised) {
+    sim::SweepSupervisor supervisor(runner, options.supervisor);
+    const sim::SweepSupervisor::Result result = supervisor.run(jobs, db);
+    if (args.has("json")) {
+      std::cout << result.report << '\n';
+      return 0;
+    }
+    Table t({"system", "status", "attempts"});
+    for (const sim::SweepOutcome& outcome : result.outcomes) {
+      t.row()
+          .cell(outcome.label)
+          .cell(outcome.ok ? std::string("ok")
+                           : sim::to_string(outcome.kind))
+          .cell(static_cast<std::uint64_t>(outcome.attempts));
+    }
+    t.print(std::cout);
+    if (result.resumed_cells > 0) {
+      std::cout << result.resumed_cells
+                << " cells recovered from the journal\n";
+    }
+    return 0;
+  }
+
   const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
   if (args.has("json")) {
     std::cout << sim::to_json(outcomes) << '\n';
@@ -365,9 +392,16 @@ int usage() {
          "systems: ddr3 lp rl hbm heter-app moca migration\n"
          "observability: [--epoch N] samples stats every N instructions\n"
          "  into the JSON report; [--trace-out F] writes a Chrome trace.\n"
+         "robustness (docs/robustness.md):\n"
+         "  [--fault-plan P]  deterministic fault injection, e.g.\n"
+         "                    'module=RL-256MB:offline@2000000;alloc:p=0.01'\n"
+         "  [--audit]         epoch-driven OS invariant auditor\n"
+         "  compare only: [--timeout-ms N] [--retries N] [--journal F]\n"
+         "                [--resume F] run the sweep supervised (watchdog,\n"
+         "                retry/quarantine, crash-safe resume journal)\n"
          "Every knob also reads MOCA_SIM_{INSTR,WARMUP,CONFIG,EPOCH,TRACE,"
-         "JOBS};\n"
-         "flags win over environment variables.\n";
+         "JOBS,\n"
+         "FAULTS,TIMEOUT_MS,AUDIT}; flags win over environment variables.\n";
   return 2;
 }
 
