@@ -1,0 +1,85 @@
+// Analytical reference classifier (paper Sec. III-B, Fig. 5).
+//
+// An independent, obviously-correct re-derivation of the 3-way threshold
+// decision used by moca::core::classify*: the plane of per-object
+// (LLC MPKI, ROB-head stall cycles per load miss) points is cut into three
+// regions,
+//
+//            stall/miss
+//                ^
+//      N region  |  L region   (mpki >= Thr_Lat, stall >= Thr_BW)
+//   (mpki below  |-------------- Thr_BW
+//      Thr_Lat)  |  B region   (mpki >= Thr_Lat, stall <  Thr_BW)
+//                +-----------> mpki
+//                Thr_Lat
+//
+// and a point is assigned the region it falls into. The region test is
+// written as an explicit decision table over two booleans rather than the
+// production code's early-return chain, so a transcription bug in one does
+// not reproduce in the other — which is exactly what the differential test
+// relies on.
+//
+// This header must stay dependency-light and trivially auditable: no
+// simulator state, no RNG, just arithmetic on the defining counters.
+#pragma once
+
+#include <cstdint>
+
+#include "moca/classifier.h"
+#include "moca/profile.h"
+#include "os/types.h"
+
+namespace moca::ref {
+
+/// Classifies a point of the (MPKI, stall-per-miss) plane. The boundary
+/// conventions mirror the paper's inequalities: the MPKI boundary itself is
+/// memory-intensive (mpki == Thr_Lat is not "below"), and the stall
+/// boundary itself is latency-sensitive (stall == Thr_BW qualifies).
+[[nodiscard]] inline os::MemClass classify_point(
+    double mpki, double stall_per_miss, const core::Thresholds& t) {
+  const bool memory_intensive = !(mpki < t.thr_lat);
+  const bool latency_bound = stall_per_miss >= t.thr_bw;
+  if (!memory_intensive) return os::MemClass::kNonIntensive;  // N region
+  if (latency_bound) return os::MemClass::kLatency;           // L region
+  return os::MemClass::kBandwidth;                            // B region
+}
+
+/// Re-derives an object's class straight from its raw event counts:
+///   MPKI        = llc_misses * 1000 / app_instructions   (0 when instr == 0)
+///   stall/miss  = rob_stall_cycles / load_llc_misses     (0 when misses == 0)
+[[nodiscard]] inline os::MemClass classify_object_counts(
+    std::uint64_t llc_misses, std::uint64_t app_instructions,
+    std::uint64_t rob_stall_cycles, std::uint64_t load_llc_misses,
+    const core::Thresholds& t) {
+  const double mpki =
+      app_instructions == 0
+          ? 0.0
+          : static_cast<double>(llc_misses) * 1000.0 /
+                static_cast<double>(app_instructions);
+  const double stall = load_llc_misses == 0
+                           ? 0.0
+                           : static_cast<double>(rob_stall_cycles) /
+                                 static_cast<double>(load_llc_misses);
+  return classify_point(mpki, stall, t);
+}
+
+/// Reference for core::classify(profile, thresholds): app class from the
+/// app-level aggregates, one object class per record, each re-derived from
+/// raw counts. Returned as the production ClassifiedApp for easy diffing.
+[[nodiscard]] inline core::ClassifiedApp classify_profile(
+    const core::AppProfile& profile, const core::Thresholds& t) {
+  core::ClassifiedApp out;
+  out.app_name = profile.app_name;
+  out.app_class =
+      classify_object_counts(profile.llc_misses, profile.instructions,
+                             profile.rob_stall_cycles,
+                             profile.load_llc_misses, t);
+  for (const auto& [name, object] : profile.objects) {
+    out.object_class[name] = classify_object_counts(
+        object.llc_misses, profile.instructions, object.rob_stall_cycles,
+        object.load_llc_misses, t);
+  }
+  return out;
+}
+
+}  // namespace moca::ref

@@ -1,0 +1,120 @@
+#include "ref/dram_timing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace moca::ref {
+
+DramTiming::DramTiming(const dram::DeviceConfig& config) : config_(config) {
+  MOCA_CHECK(config_.geometry.banks_per_channel > 0);
+  banks_.resize(config_.geometry.banks_per_channel);
+  const std::uint64_t bpb = config_.bytes_per_burst();
+  MOCA_CHECK(bpb > 0);
+  bursts_per_line_ = static_cast<std::uint32_t>((kLineBytes + bpb - 1) / bpb);
+  act_ring_.fill(-config_.timings.tFAW - 1);
+  next_refresh_ = config_.timings.tREFI;
+}
+
+void DramTiming::apply_refresh() {
+  ++refreshes_;
+  const TimePs blocked_until = next_refresh_ + config_.timings.tRFC;
+  for (Bank& b : banks_) {
+    b.open_row = -1;
+    b.act_ready = std::max(b.act_ready, blocked_until);
+    b.col_ready = std::max(b.col_ready, blocked_until);
+    b.pre_ready = std::max(b.pre_ready, blocked_until);
+  }
+  next_refresh_ += config_.timings.tREFI;
+}
+
+DramTiming::Result DramTiming::access(TimePs arrival, bool is_write,
+                                      std::uint32_t bank_idx,
+                                      std::uint64_t row) {
+  MOCA_CHECK_MSG(bank_idx < banks_.size(),
+                 "bank " << bank_idx << " out of range");
+  MOCA_CHECK_MSG(arrival >= last_completion_,
+                 "serialized-stream contract: arrival "
+                     << arrival << " before previous completion "
+                     << last_completion_);
+  const dram::DeviceTimings& t = config_.timings;
+  const bool refreshing = t.tREFI > 0;
+
+  while (refreshing && next_refresh_ <= arrival) apply_refresh();
+
+  // Fixpoint on the opening-command time: a refresh tick at or before the
+  // candidate start closes the row and pushes the bank's ready times, which
+  // may move the start (and flip a hit into a miss) — recompute until no
+  // refresh intervenes.
+  Bank& bank = banks_[bank_idx];
+  TimePs start = 0;
+  bool hit = false;
+  for (;;) {
+    hit = config_.geometry.open_page &&
+          bank.open_row == static_cast<std::int64_t>(row);
+    if (hit) {
+      start = std::max(arrival, bank.col_ready);
+    } else if (bank.open_row < 0) {
+      start = std::max(arrival, bank.act_ready);
+    } else {
+      start = std::max(arrival, bank.pre_ready);
+    }
+    if (refreshing && next_refresh_ <= start) {
+      apply_refresh();
+      continue;
+    }
+    break;
+  }
+
+  const TimePs faw_ready =
+      t.tFAW > 0 ? act_ring_[act_ring_idx_] + t.tFAW : 0;
+  const auto record_act = [this](TimePs act) {
+    act_ring_[act_ring_idx_] = act;
+    act_ring_idx_ = (act_ring_idx_ + 1) % act_ring_.size();
+  };
+
+  Result result;
+  result.issue = start;
+  TimePs col_cmd = 0;
+  if (hit) {
+    ++row_hits_;
+    result.row_hit = true;
+    col_cmd = std::max(start, bank.col_ready);
+  } else {
+    const bool conflict = bank.open_row >= 0;
+    TimePs act = 0;
+    if (conflict) {
+      ++row_conflicts_;
+      result.row_conflict = true;
+      const TimePs pre = std::max(start, bank.pre_ready);
+      act = std::max({pre + t.tRP, bank.act_ready, faw_ready});
+    } else {
+      ++row_misses_;
+      result.row_miss = true;
+      act = std::max({start, bank.act_ready, faw_ready});
+    }
+    record_act(act);
+    col_cmd = act + t.tRCD;
+    bank.act_ready = act + t.tRC;
+    bank.pre_ready = act + t.tRAS;
+    bank.open_row =
+        config_.geometry.open_page ? static_cast<std::int64_t>(row) : -1;
+  }
+
+  const TimePs turnaround =
+      is_write != last_burst_write_ ? (is_write ? t.tRTW : t.tWTR) : 0;
+  last_burst_write_ = is_write;
+
+  const TimePs transfer = config_.burst_time() * bursts_per_line_;
+  const TimePs data_start = std::max(col_cmd + t.tCL, bus_free_ + turnaround);
+  const TimePs data_end = data_start + transfer;
+  bank.col_ready = std::max(bank.col_ready, col_cmd + transfer);
+  bus_free_ = data_end;
+
+  result.completion = data_end;
+  last_completion_ = data_end;
+  return result;
+}
+
+}  // namespace moca::ref

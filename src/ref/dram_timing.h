@@ -1,0 +1,85 @@
+// Closed-form single-request DRAM timing reference (paper Table I/II).
+//
+// DramTiming predicts, for a *serialized* request stream (each request
+// arrives only after the previous one's data burst completed, so FR-FCFS
+// never reorders and the queue never holds two requests), the exact issue
+// and completion time dram::ChannelController produces — including row
+// hits/misses/conflicts, tRC/tRAS/tRP spacing, the tFAW four-activate
+// window, read/write bus turnaround, and the periodic refresh train.
+//
+// Where the production controller discovers these times operationally
+// (wake-up events re-probing bank state), the reference computes each
+// request's schedule in closed form from first principles:
+//
+//   start   = max(arrival, bank-ready time for the opening command),
+//             re-evaluated after replaying every refresh tick <= start
+//             (a fixpoint: refreshes close rows and push ready times)
+//   ACT     = max(start, act_ready, oldest-of-last-4-ACTs + tFAW)
+//   COL     = ACT + tRCD (or start/col_ready on a row hit)
+//   data    = max(COL + tCL, bus_free + turnaround) .. + line transfer
+//
+// Refresh ties are resolved the way the event queue does: events at equal
+// timestamps run in insertion order, and the refresh train is always
+// scheduled one tREFI ahead, so a refresh landing exactly on a wake-up
+// tick is applied *before* the request issues.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "dram/timings.h"
+
+namespace moca::ref {
+
+class DramTiming {
+ public:
+  explicit DramTiming(const dram::DeviceConfig& config);
+
+  struct Result {
+    TimePs issue = 0;       // first command time (queue wait ends)
+    TimePs completion = 0;  // last data beat == completion-callback time
+    bool row_hit = false;
+    bool row_miss = false;      // bank was precharged
+    bool row_conflict = false;  // wrong row open: PRE first
+  };
+
+  /// Predicts one request's schedule and advances the model state.
+  /// Contract: arrivals are given in order and each request arrives no
+  /// earlier than the previous completion (serialized stream).
+  Result access(TimePs arrival, bool is_write, std::uint32_t bank,
+                std::uint64_t row);
+
+  [[nodiscard]] std::uint64_t row_hits() const { return row_hits_; }
+  [[nodiscard]] std::uint64_t row_misses() const { return row_misses_; }
+  [[nodiscard]] std::uint64_t row_conflicts() const { return row_conflicts_; }
+  /// Refresh ticks replayed so far (monotone in simulated time).
+  [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
+
+ private:
+  struct Bank {
+    std::int64_t open_row = -1;
+    TimePs act_ready = 0;
+    TimePs pre_ready = 0;
+    TimePs col_ready = 0;
+  };
+
+  void apply_refresh();
+
+  const dram::DeviceConfig config_;
+  std::vector<Bank> banks_;
+  TimePs bus_free_ = 0;
+  TimePs next_refresh_ = 0;
+  TimePs last_completion_ = 0;
+  std::uint32_t bursts_per_line_ = 1;
+  std::array<TimePs, 4> act_ring_{};
+  std::uint32_t act_ring_idx_ = 0;
+  bool last_burst_write_ = false;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  std::uint64_t row_conflicts_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace moca::ref

@@ -1,0 +1,214 @@
+#include "ref/frame_ledger.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "os/os.h"
+#include "os/physical_memory.h"
+
+namespace moca::ref {
+
+std::uint32_t FrameLedger::add_module(std::string name, dram::MemKind kind,
+                                      std::uint64_t frames) {
+  Module m;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.frames = frames;
+  m.base = next_base_;
+  next_base_ += frames;
+  modules_.push_back(std::move(m));
+  return static_cast<std::uint32_t>(modules_.size() - 1);
+}
+
+std::optional<os::Pfn> FrameLedger::allocate(std::uint32_t module) {
+  MOCA_CHECK(module < modules_.size());
+  Module& m = modules_[module];
+  std::uint64_t local = 0;
+  if (!m.free_lifo.empty()) {
+    local = m.free_lifo.back();
+    m.free_lifo.pop_back();
+  } else if (m.high_water < m.frames) {
+    local = m.high_water++;
+  } else {
+    return std::nullopt;
+  }
+  const bool inserted = m.allocated.insert(local).second;
+  MOCA_CHECK_MSG(inserted, "ledger handed out a live frame");
+  return m.base + local;
+}
+
+void FrameLedger::free(os::Pfn pfn) {
+  for (Module& m : modules_) {
+    if (pfn >= m.base && pfn < m.base + m.frames) {
+      const std::uint64_t local = pfn - m.base;
+      MOCA_CHECK_MSG(m.allocated.erase(local) == 1,
+                     "ledger free of a frame that is not live: pfn " << pfn);
+      m.free_lifo.push_back(local);
+      return;
+    }
+  }
+  MOCA_CHECK_MSG(false, "ledger free of pfn outside all modules: " << pfn);
+}
+
+std::vector<std::uint32_t> FrameLedger::modules_of_kind(
+    dram::MemKind kind) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<FrameLedger::Placement> FrameLedger::allocate_chain(
+    const std::vector<dram::MemKind>& chain) {
+  bool first_choice_seen = false;
+  for (const dram::MemKind kind : chain) {
+    const std::vector<std::uint32_t> candidates = modules_of_kind(kind);
+    if (candidates.empty()) continue;  // kind absent from this machine
+    // One cursor step per present kind visited, taken even when every
+    // module of the kind turns out to be full — the production Os
+    // increments before probing.
+    const std::uint64_t start = rr_cursor_++;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::uint32_t index = candidates[(start + i) % candidates.size()];
+      if (const auto pfn = allocate(index)) {
+        if (first_choice_seen) ++fallback_allocations_;
+        return Placement{*pfn, index, first_choice_seen, false};
+      }
+    }
+    first_choice_seen = true;  // the preferred present kind was full
+  }
+  for (std::uint32_t index = 0; index < modules_.size(); ++index) {
+    if (const auto pfn = allocate(index)) {
+      ++fallback_allocations_;
+      ++last_resort_allocations_;
+      return Placement{*pfn, index, true, true};
+    }
+  }
+  return std::nullopt;  // genuinely out of memory
+}
+
+std::uint64_t FrameLedger::used(std::uint32_t module) const {
+  MOCA_CHECK(module < modules_.size());
+  return modules_[module].allocated.size();
+}
+
+std::uint64_t FrameLedger::total(std::uint32_t module) const {
+  MOCA_CHECK(module < modules_.size());
+  return modules_[module].frames;
+}
+
+bool FrameLedger::full(std::uint32_t module) const {
+  MOCA_CHECK(module < modules_.size());
+  const Module& m = modules_[module];
+  return m.free_lifo.empty() && m.high_water >= m.frames;
+}
+
+bool FrameLedger::allocated(os::Pfn pfn) const {
+  for (const Module& m : modules_) {
+    if (pfn >= m.base && pfn < m.base + m.frames) {
+      return m.allocated.contains(pfn - m.base);
+    }
+  }
+  return false;
+}
+
+std::vector<os::Pfn> FrameLedger::live_pfns() const {
+  std::vector<os::Pfn> out;
+  for (const Module& m : modules_) {
+    for (const std::uint64_t local : m.allocated) out.push_back(m.base + local);
+  }
+  return out;
+}
+
+const FrameLedger::Module& FrameLedger::module_of(os::Pfn pfn) const {
+  for (const Module& m : modules_) {
+    if (pfn >= m.base && pfn < m.base + m.frames) return m;
+  }
+  MOCA_CHECK_MSG(false, "pfn outside every ledger module: " << pfn);
+  return modules_.front();
+}
+
+void FrameLedger::check_against(const os::PhysicalMemory& phys) const {
+  MOCA_CHECK_MSG(phys.module_count() == module_count(),
+                 "module count: production " << phys.module_count()
+                                             << " vs ledger "
+                                             << module_count());
+  MOCA_CHECK_MSG(phys.total_frames() == next_base_,
+                 "total frames: production " << phys.total_frames()
+                                             << " vs ledger " << next_base_);
+  for (std::uint32_t i = 0; i < module_count(); ++i) {
+    const Module& m = modules_[i];
+    const os::FrameAllocator& alloc = phys.allocator(i);
+    MOCA_CHECK_MSG(phys.base_pfn(i) == m.base,
+                   "module " << i << " base pfn: production "
+                             << phys.base_pfn(i) << " vs ledger " << m.base);
+    MOCA_CHECK_MSG(alloc.total_frames() == m.frames,
+                   "module " << i << " capacity: production "
+                             << alloc.total_frames() << " vs ledger "
+                             << m.frames);
+    MOCA_CHECK_MSG(alloc.used_frames() == m.allocated.size(),
+                   "module " << i << " used frames: production "
+                             << alloc.used_frames() << " vs ledger "
+                             << m.allocated.size());
+    MOCA_CHECK_MSG(alloc.next_unused() == m.high_water,
+                   "module " << i << " bump pointer: production "
+                             << alloc.next_unused() << " vs ledger "
+                             << m.high_water);
+    MOCA_CHECK_MSG(alloc.full() == full(i),
+                   "module " << i << " fullness disagrees");
+    // Free lists must hold the same frames; order is compared as a
+    // multiset because production frees may arrive from unordered
+    // page-table walks.
+    std::vector<std::uint64_t> prod_free = alloc.free_list();
+    std::vector<std::uint64_t> ledger_free = m.free_lifo;
+    std::sort(prod_free.begin(), prod_free.end());
+    std::sort(ledger_free.begin(), ledger_free.end());
+    MOCA_CHECK_MSG(prod_free == ledger_free,
+                   "module " << i << " free-list contents diverge ("
+                             << prod_free.size() << " vs "
+                             << ledger_free.size() << " entries)");
+  }
+}
+
+void FrameLedger::check_against(const os::Os& os) const {
+  check_against(os.physical_memory());
+
+  // Every mapped page of every alive process must be a live ledger frame,
+  // and no frame may back two pages.
+  std::map<os::Pfn, std::uint64_t> mapped;  // pfn -> reference count
+  std::vector<std::uint64_t> mapped_per_module(module_count(), 0);
+  os.for_each_alive_process(
+      [&](os::ProcessId, const os::AddressSpace& space) {
+        space.page_table().for_each([&](os::Vpn, os::Pfn pfn) {
+          ++mapped[pfn];
+          for (std::uint32_t i = 0; i < module_count(); ++i) {
+            if (pfn >= modules_[i].base &&
+                pfn < modules_[i].base + modules_[i].frames) {
+              ++mapped_per_module[i];
+            }
+          }
+        });
+      });
+  for (const auto& [pfn, refs] : mapped) {
+    MOCA_CHECK_MSG(refs == 1, "pfn " << pfn << " backs " << refs << " pages");
+    MOCA_CHECK_MSG(allocated(pfn),
+                   "page table maps pfn " << pfn
+                                          << " that the ledger holds free");
+  }
+  const os::OsStats& stats = os.stats();
+  MOCA_CHECK_MSG(stats.frames_per_module.size() == module_count(),
+                 "frames_per_module arity mismatch");
+  for (std::uint32_t i = 0; i < module_count(); ++i) {
+    MOCA_CHECK_MSG(stats.frames_per_module[i] == used(i),
+                   "module " << i << " frames: Os accounting "
+                             << stats.frames_per_module[i] << " vs ledger "
+                             << used(i));
+    MOCA_CHECK_MSG(mapped_per_module[i] == used(i),
+                   "module " << i << " mapped pages " << mapped_per_module[i]
+                             << " vs ledger live frames " << used(i));
+  }
+}
+
+}  // namespace moca::ref

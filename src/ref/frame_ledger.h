@@ -1,0 +1,116 @@
+// Analytical reference model of physical-frame accounting.
+//
+// FrameLedger shadows two production layers at once:
+//
+//   * os::FrameAllocator / os::PhysicalMemory — bump pointer + LIFO free
+//     list per module, global PFNs laid out contiguously in registration
+//     order — re-implemented here over std::set / std::vector in the most
+//     literal way possible (every allocated frame is an element of a set;
+//     "full" is a size comparison).
+//   * Os::allocate_frame — the typed-partition preference chain of paper
+//     Sec. III-C: walk the requested kinds in order, round-robin across
+//     same-kind modules from a global cursor, spill to the next kind when
+//     the preferred one is exhausted, and finally to any module with space,
+//     counting fallback / last-resort spills exactly like os::OsStats.
+//
+// The ledger predicts the exact PFN every allocation returns, so a
+// differential test can drive the production allocator and the ledger with
+// the same operation sequence and compare results frame by frame, then call
+// check_against() to reconcile the full end state (throws CheckError with a
+// description of the first divergence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dram/types.h"
+#include "os/types.h"
+
+namespace moca::os {
+class PhysicalMemory;
+class Os;
+}  // namespace moca::os
+
+namespace moca::ref {
+
+class FrameLedger {
+ public:
+  /// Registers a module; returns its index. Mirrors
+  /// os::PhysicalMemory::add_module's contiguous global-PFN layout.
+  std::uint32_t add_module(std::string name, dram::MemKind kind,
+                           std::uint64_t frames);
+
+  /// FrameAllocator shadow: most recently freed frame first, else the next
+  /// never-used frame, else nullopt. Returns a global PFN.
+  [[nodiscard]] std::optional<os::Pfn> allocate(std::uint32_t module);
+  void free(os::Pfn pfn);
+
+  /// Os::allocate_frame shadow: where the next page of a process whose
+  /// policy returned `chain` must land.
+  struct Placement {
+    os::Pfn pfn = 0;
+    std::uint32_t module = 0;
+    bool fallback = false;     // not placed in the first present kind
+    bool last_resort = false;  // placed by the any-module-with-space pass
+  };
+  /// nullopt = simulated machine out of memory (the production Os throws).
+  [[nodiscard]] std::optional<Placement> allocate_chain(
+      const std::vector<dram::MemKind>& chain);
+
+  [[nodiscard]] std::uint32_t module_count() const {
+    return static_cast<std::uint32_t>(modules_.size());
+  }
+  [[nodiscard]] std::uint64_t used(std::uint32_t module) const;
+  [[nodiscard]] std::uint64_t total(std::uint32_t module) const;
+  [[nodiscard]] bool full(std::uint32_t module) const;
+  [[nodiscard]] bool allocated(os::Pfn pfn) const;
+  [[nodiscard]] std::uint64_t fallback_allocations() const {
+    return fallback_allocations_;
+  }
+  [[nodiscard]] std::uint64_t last_resort_allocations() const {
+    return last_resort_allocations_;
+  }
+  /// Every live (allocated) global PFN, ascending.
+  [[nodiscard]] std::vector<os::Pfn> live_pfns() const;
+
+  /// Reconciles the ledger against the production allocator state: module
+  /// layout, used/total counts, bump pointers and free-list contents (as
+  /// multisets — the production free list's order is an implementation
+  /// detail once frees arrive from unordered page-table walks). Throws
+  /// CheckError naming the first divergence.
+  void check_against(const os::PhysicalMemory& phys) const;
+
+  /// Reconciles against a full Os: every mapped PFN of every alive process
+  /// must be live in the ledger, each module's mapped-page count must match
+  /// the ledger and the Os's frames_per_module accounting.
+  void check_against(const os::Os& os) const;
+
+ private:
+  struct Module {
+    std::string name;
+    dram::MemKind kind = dram::MemKind::kDdr3;
+    std::uint64_t frames = 0;
+    os::Pfn base = 0;
+    /// Module-local frame indices currently handed out.
+    std::set<std::uint64_t> allocated;
+    /// Freed frames, most recent last (the production LIFO).
+    std::vector<std::uint64_t> free_lifo;
+    /// First never-allocated local frame (the production bump pointer).
+    std::uint64_t high_water = 0;
+  };
+
+  [[nodiscard]] const Module& module_of(os::Pfn pfn) const;
+  [[nodiscard]] std::vector<std::uint32_t> modules_of_kind(
+      dram::MemKind kind) const;
+
+  std::vector<Module> modules_;
+  os::Pfn next_base_ = 0;
+  std::uint64_t rr_cursor_ = 0;
+  std::uint64_t fallback_allocations_ = 0;
+  std::uint64_t last_resort_allocations_ = 0;
+};
+
+}  // namespace moca::ref

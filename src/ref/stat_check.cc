@@ -1,0 +1,328 @@
+#include "ref/stat_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/time.h"
+#include "common/units.h"
+#include "sim/report.h"
+
+namespace moca::ref {
+namespace {
+
+/// Print precision of JsonWriter's doubles (default ostream: 6 significant
+/// digits), with slack for the parse round-trip.
+constexpr double kJsonRelTol = 1e-4;
+
+[[nodiscard]] bool close(double a, double b, double rel_tol) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+class Issues {
+ public:
+  template <class... Parts>
+  void add(const Parts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    issues_.push_back(os.str());
+  }
+  [[nodiscard]] std::vector<std::string> take() { return std::move(issues_); }
+
+ private:
+  std::vector<std::string> issues_;
+};
+
+void check_timeseries(const sim::ObservabilityResult& ts, Issues& issues) {
+  if (ts.columns.size() != ts.kinds.size()) {
+    issues.add("timeseries: ", ts.columns.size(), " columns but ",
+               ts.kinds.size(), " kinds");
+    return;
+  }
+  if (!std::is_sorted(ts.columns.begin(), ts.columns.end())) {
+    issues.add("timeseries: columns are not sorted");
+  }
+  if (std::adjacent_find(ts.columns.begin(), ts.columns.end()) !=
+      ts.columns.end()) {
+    issues.add("timeseries: duplicate column path");
+  }
+  TimePs prev_time = -1;
+  std::uint64_t prev_instr = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < ts.rows.size(); ++i) {
+    const EpochRow& row = ts.rows[i];
+    if (row.epoch != i) {
+      issues.add("timeseries row ", i, ": epoch field is ", row.epoch);
+    }
+    if (row.values.size() != ts.columns.size()) {
+      issues.add("timeseries row ", i, ": ", row.values.size(),
+                 " values for ", ts.columns.size(), " columns");
+      continue;
+    }
+    if (row.time_ps < prev_time) {
+      issues.add("timeseries row ", i, ": time_ps ", row.time_ps,
+                 " moves backwards from ", prev_time);
+    }
+    if (have_prev && row.instructions <= prev_instr) {
+      issues.add("timeseries row ", i, ": instructions ", row.instructions,
+                 " not strictly above ", prev_instr);
+    }
+    prev_time = row.time_ps;
+    prev_instr = row.instructions;
+    have_prev = true;
+    // Counter columns carry per-epoch deltas of monotonic counters, so a
+    // negative value means the underlying counter went backwards.
+    for (std::size_t c = 0; c < ts.columns.size(); ++c) {
+      if (ts.kinds[c] == StatKind::kCounter && row.values[c] < 0.0) {
+        issues.add("timeseries row ", i, ": counter ", ts.columns[c],
+                   " delta is negative (", row.values[c], ")");
+      }
+    }
+  }
+}
+
+/// Sequential scanner over the writer's compact JSON: finds `"key":` at or
+/// after the cursor and reads the value that follows. Keys inside the
+/// cores/modules arrays repeat, so lookups advance in document order.
+class JsonScan {
+ public:
+  explicit JsonScan(const std::string& json) : json_(json) {}
+
+  [[nodiscard]] bool seek(const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = json_.find(needle, pos_);
+    if (at == std::string::npos) return false;
+    pos_ = at + needle.size();
+    return true;
+  }
+
+  [[nodiscard]] double number() const {
+    return std::strtod(json_.c_str() + pos_, nullptr);
+  }
+
+  [[nodiscard]] std::uint64_t unsigned_number() const {
+    return std::strtoull(json_.c_str() + pos_, nullptr, 10);
+  }
+
+  /// The (escape-free) string literal at the cursor; report strings are
+  /// config names and app labels, which never need escapes.
+  [[nodiscard]] std::string string_literal() const {
+    if (pos_ >= json_.size() || json_[pos_] != '"') return {};
+    const std::size_t end = json_.find('"', pos_ + 1);
+    if (end == std::string::npos) return {};
+    return json_.substr(pos_ + 1, end - pos_ - 1);
+  }
+
+ private:
+  const std::string& json_;
+  std::size_t pos_ = 0;
+};
+
+void expect_u64(JsonScan& scan, const std::string& key, std::uint64_t want,
+                Issues& issues) {
+  if (!scan.seek(key)) {
+    issues.add("report: key \"", key, "\" missing (or out of order)");
+    return;
+  }
+  const std::uint64_t got = scan.unsigned_number();
+  if (got != want) {
+    issues.add("report: \"", key, "\" is ", got, ", recomputed ", want);
+  }
+}
+
+void expect_double(JsonScan& scan, const std::string& key, double want,
+                   Issues& issues) {
+  if (!scan.seek(key)) {
+    issues.add("report: key \"", key, "\" missing (or out of order)");
+    return;
+  }
+  const double got = scan.number();
+  if (!close(got, want, kJsonRelTol)) {
+    issues.add("report: \"", key, "\" is ", got, ", recomputed ", want);
+  }
+}
+
+void expect_string(JsonScan& scan, const std::string& key,
+                   const std::string& want, Issues& issues) {
+  if (!scan.seek(key)) {
+    issues.add("report: key \"", key, "\" missing (or out of order)");
+    return;
+  }
+  const std::string got = scan.string_literal();
+  if (got != want) {
+    issues.add("report: \"", key, "\" is \"", got, "\", expected \"", want,
+               "\"");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_run_result(const sim::RunResult& r) {
+  Issues issues;
+
+  std::uint64_t sum_instr = 0;
+  std::uint64_t sum_llc = 0;
+  TimePs max_finish = 0;
+  for (const sim::CoreResult& c : r.cores) {
+    sum_instr += c.core.committed;
+    sum_llc += c.hierarchy.llc_misses;
+    max_finish = std::max(max_finish, c.finish_time);
+    if (!close(c.core.ipc(),
+               c.core.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(c.core.committed) /
+                         static_cast<double>(c.core.cycles),
+               1e-12)) {
+      issues.add("core ", c.app_name, ": ipc() disagrees with committed/cycles");
+    }
+  }
+  if (r.total_instructions != sum_instr) {
+    issues.add("total_instructions ", r.total_instructions,
+               " != sum of per-core committed ", sum_instr);
+  }
+  if (r.total_llc_misses != sum_llc) {
+    issues.add("total_llc_misses ", r.total_llc_misses,
+               " != sum of per-core llc_misses ", sum_llc);
+  }
+  if (!r.cores.empty() && r.exec_time != max_finish) {
+    issues.add("exec_time ", r.exec_time, " != latest core finish ",
+               max_finish);
+  }
+
+  TimePs sum_access = 0;
+  double sum_energy = 0.0;
+  std::uint64_t sum_frames = 0;
+  for (std::size_t m = 0; m < r.modules.size(); ++m) {
+    const sim::ModuleResult& mod = r.modules[m];
+    const dram::ChannelStats& s = mod.stats;
+    sum_access += s.total_access_time_ps();
+    sum_energy += mod.energy_j;
+    sum_frames += mod.frames_used;
+    if (s.reads + s.writes !=
+        s.row_hits + s.row_misses + s.row_conflicts) {
+      issues.add("module ", mod.name, ": ", s.reads + s.writes,
+                 " accesses but ", s.row_hits + s.row_misses + s.row_conflicts,
+                 " hit/miss/conflict outcomes");
+    }
+    if (mod.frames_used > mod.capacity_bytes / kPageBytes) {
+      issues.add("module ", mod.name, ": frames_used ", mod.frames_used,
+                 " exceeds capacity ", mod.capacity_bytes / kPageBytes,
+                 " frames");
+    }
+  }
+  if (r.total_mem_access_time != sum_access) {
+    issues.add("total_mem_access_time ", r.total_mem_access_time,
+               " != sum of per-module access time ", sum_access);
+  }
+  if (!close(r.memory_energy_j, sum_energy, 1e-9)) {
+    issues.add("memory_energy_j ", r.memory_energy_j,
+               " != sum of per-module energy ", sum_energy);
+  }
+
+  if (!close(r.memory_edp(),
+             r.memory_energy_j * ps_to_seconds(r.total_mem_access_time),
+             1e-12)) {
+    issues.add("memory_edp is not energy x access time");
+  }
+  if (!close(r.system_edp(),
+             (r.memory_energy_j + r.core_energy_j) *
+                 ps_to_seconds(r.exec_time),
+             1e-12)) {
+    issues.add("system_edp is not total energy x exec time");
+  }
+
+  const os::OsStats& os = r.os_stats;
+  if (os.last_resort_allocations > os.fallback_allocations) {
+    issues.add("last_resort_allocations ", os.last_resort_allocations,
+               " exceeds fallback_allocations ", os.fallback_allocations);
+  }
+  if (!os.frames_per_module.empty()) {
+    if (os.frames_per_module.size() != r.modules.size()) {
+      issues.add("frames_per_module has ", os.frames_per_module.size(),
+                 " entries for ", r.modules.size(), " modules");
+    } else {
+      for (std::size_t m = 0; m < r.modules.size(); ++m) {
+        if (os.frames_per_module[m] != r.modules[m].frames_used) {
+          issues.add("module ", r.modules[m].name, ": Os accounting ",
+                     os.frames_per_module[m], " frames vs module report ",
+                     r.modules[m].frames_used);
+        }
+      }
+    }
+    // Frames are only handed out by demand faults and only returned at
+    // process teardown, so faults bound the frames still live.
+    if (os.page_faults < sum_frames) {
+      issues.add("page_faults ", os.page_faults,
+                 " below frames currently allocated ", sum_frames);
+    }
+  }
+
+  if (r.observability.has_timeseries()) {
+    check_timeseries(r.observability, issues);
+  }
+  return issues.take();
+}
+
+std::vector<std::string> check_report_json(const std::string& json,
+                                           const sim::RunResult& r) {
+  Issues issues;
+  JsonScan scan(json);
+
+  expect_u64(scan, "schema_version", sim::kReportSchemaVersion, issues);
+  expect_string(scan, "memory_system", r.memsys_name, issues);
+  expect_string(scan, "policy", r.policy_name, issues);
+  expect_u64(scan, "exec_time_ps", static_cast<std::uint64_t>(r.exec_time),
+             issues);
+  expect_u64(scan, "total_mem_access_time_ps",
+             static_cast<std::uint64_t>(r.total_mem_access_time), issues);
+  expect_double(scan, "memory_energy_j", r.memory_energy_j, issues);
+  expect_double(scan, "core_energy_j", r.core_energy_j, issues);
+  expect_double(scan, "memory_edp",
+                r.memory_energy_j * ps_to_seconds(r.total_mem_access_time),
+                issues);
+  expect_double(scan, "system_edp",
+                (r.memory_energy_j + r.core_energy_j) *
+                    ps_to_seconds(r.exec_time),
+                issues);
+  expect_u64(scan, "total_instructions", r.total_instructions, issues);
+  expect_u64(scan, "total_llc_misses", r.total_llc_misses, issues);
+
+  for (const sim::CoreResult& c : r.cores) {
+    expect_string(scan, "app", c.app_name, issues);
+    expect_u64(scan, "instructions", c.core.committed, issues);
+    expect_u64(scan, "cycles", static_cast<std::uint64_t>(c.core.cycles),
+               issues);
+    expect_double(scan, "ipc", c.core.ipc(), issues);
+    expect_u64(scan, "llc_misses", c.hierarchy.llc_misses, issues);
+    expect_u64(scan, "rob_head_stall_cycles",
+               static_cast<std::uint64_t>(c.core.rob_head_stall_cycles),
+               issues);
+    expect_u64(scan, "tlb_misses", c.core.tlb_misses, issues);
+    expect_u64(scan, "finish_time_ps",
+               static_cast<std::uint64_t>(c.finish_time), issues);
+  }
+
+  for (const sim::ModuleResult& m : r.modules) {
+    expect_string(scan, "name", m.name, issues);
+    expect_string(scan, "kind", dram::to_string(m.kind), issues);
+    expect_u64(scan, "capacity_bytes", m.capacity_bytes, issues);
+    expect_u64(scan, "frames_used", m.frames_used, issues);
+    expect_u64(scan, "reads", m.stats.reads, issues);
+    expect_u64(scan, "writes", m.stats.writes, issues);
+    expect_u64(scan, "row_hits", m.stats.row_hits, issues);
+    expect_u64(scan, "activates", m.stats.activates(), issues);
+    expect_u64(scan, "access_time_ps",
+               static_cast<std::uint64_t>(m.stats.total_access_time_ps()),
+               issues);
+    expect_double(scan, "energy_j", m.energy_j, issues);
+  }
+
+  expect_u64(scan, "page_faults", r.os_stats.page_faults, issues);
+  expect_u64(scan, "fallback_allocations",
+             r.os_stats.fallback_allocations, issues);
+  return issues.take();
+}
+
+}  // namespace moca::ref

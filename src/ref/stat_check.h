@@ -1,0 +1,62 @@
+// Analytical cross-check of run results and their schema-v3 reports.
+//
+// StatCheck re-derives every derived metric a report carries from the raw
+// event counts it also carries — LLC MPKI and ROB-head stall per load miss
+// (the paper's two classification axes, Sec. III-A), IPC, the EDP products
+// of Sec. VI-A — and re-verifies the aggregation identities the simulator
+// maintains operationally:
+//
+//   total_instructions   = sum of per-core committed instructions
+//   total_llc_misses     = sum of per-core LLC misses
+//   exec_time            = latest per-core finish time
+//   total_mem_access_time= sum of per-module queue+service time
+//   memory_energy        = sum of per-module energy
+//   reads + writes       = row hits + misses + conflicts, per module
+//   page_faults         >= frames currently handed out
+//   timeseries           monotone ticks, counter deltas >= 0
+//
+// check_report_json() additionally walks the serialized JSON (the writer's
+// canonical compact form) and confirms the document round-trips the
+// in-memory RunResult: exact for integers, within print precision for
+// doubles. Both entry points return a list of human-readable issues,
+// empty on success, so differential tests can report every divergence of a
+// corrupted report at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace moca::ref {
+
+/// LLC misses per kilo-instruction (paper Sec. III-A). 0 when instr == 0.
+[[nodiscard]] inline double mpki(std::uint64_t llc_misses,
+                                 std::uint64_t instructions) {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(llc_misses) * 1000.0 /
+                                 static_cast<double>(instructions);
+}
+
+/// ROB-head stall cycles per load LLC miss (the MLP proxy of Sec. III-A).
+[[nodiscard]] inline double stall_per_miss(std::uint64_t rob_stall_cycles,
+                                           std::uint64_t load_llc_misses) {
+  return load_llc_misses == 0
+             ? 0.0
+             : static_cast<double>(rob_stall_cycles) /
+                   static_cast<double>(load_llc_misses);
+}
+
+/// Recomputes every aggregate of `r` from its per-core/per-module parts and
+/// returns a description of each identity that does not hold.
+[[nodiscard]] std::vector<std::string> check_run_result(
+    const sim::RunResult& r);
+
+/// Verifies that `json` (as produced by sim::to_json) faithfully reports
+/// `r`: key presence in schema order, exact integer fields, doubles within
+/// the writer's 6-significant-digit print precision.
+[[nodiscard]] std::vector<std::string> check_report_json(
+    const std::string& json, const sim::RunResult& r);
+
+}  // namespace moca::ref

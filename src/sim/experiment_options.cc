@@ -114,6 +114,11 @@ ExperimentOptions ExperimentOptions::from_env() {
     options.supervisor.timeout_ms = static_cast<double>(*v);
     options.supervised = true;
   }
+  if (const auto v = env_u64("MOCA_SIM_RETRIES")) {
+    MOCA_CHECK_MSG(*v > 0, "MOCA_SIM_RETRIES must be a positive integer");
+    options.supervisor.max_attempts = static_cast<std::uint32_t>(*v);
+    options.supervised = true;
+  }
   if (std::getenv("MOCA_SIM_AUDIT") != nullptr) {
     options.experiment.observability.audit = true;
   }

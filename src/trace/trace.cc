@@ -72,25 +72,38 @@ void TraceWriter::close() {
 }
 
 TraceReader::TraceReader(const std::string& path)
-    : in_(path, std::ios::binary) {
-  MOCA_CHECK_MSG(in_.good(), "cannot open trace file: " << path);
+    : file_(path, std::ios::binary), in_(&file_) {
+  MOCA_CHECK_MSG(file_.good(), "cannot open trace file: " << path);
+  read_header(path);
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(&in) {
+  read_header("<stream>");
+}
+
+void TraceReader::read_header(const std::string& source) {
   char magic[sizeof(kMagic)];
-  in_.read(magic, sizeof(magic));
-  MOCA_CHECK_MSG(in_.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                 "not a MOCA trace file: " << path);
+  in_->read(magic, sizeof(magic));
+  MOCA_CHECK_MSG(
+      in_->good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+      "not a MOCA trace file: " << source);
   char counted[8];
-  in_.read(counted, sizeof(counted));
-  MOCA_CHECK(in_.good());
+  in_->read(counted, sizeof(counted));
+  MOCA_CHECK(in_->good());
   count_ = get_u64(counted);
 }
 
 bool TraceReader::next(cpu::MicroOp& op) {
   if (read_ >= count_) return false;
   std::array<char, kRecordBytes> buffer{};
-  in_.read(buffer.data(), buffer.size());
-  MOCA_CHECK_MSG(in_.good(), "truncated trace file");
+  in_->read(buffer.data(), buffer.size());
+  MOCA_CHECK_MSG(in_->good(), "truncated trace file");
+  const auto kind = static_cast<unsigned char>(buffer[0]);
+  MOCA_CHECK_MSG(kind <= static_cast<unsigned char>(cpu::OpKind::kStore),
+                 "trace record " << read_ << ": invalid op kind "
+                                 << static_cast<unsigned>(kind));
   op = cpu::MicroOp{};
-  op.kind = static_cast<cpu::OpKind>(buffer[0]);
+  op.kind = static_cast<cpu::OpKind>(kind);
   op.latency = static_cast<std::uint8_t>(buffer[1]);
   op.dep1 = get_u32(&buffer[2]);
   op.vaddr = get_u64(&buffer[6]);
@@ -100,8 +113,8 @@ bool TraceReader::next(cpu::MicroOp& op) {
 }
 
 void TraceReader::rewind() {
-  in_.clear();
-  in_.seekg(kHeaderBytes);
+  in_->clear();
+  in_->seekg(kHeaderBytes);
   read_ = 0;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -46,10 +47,15 @@ class TraceWriter {
   bool closed_ = false;
 };
 
-/// Reads a trace file sequentially.
+/// Reads a trace sequentially. Malformed input (bad magic, truncated
+/// records, out-of-range op kinds) throws moca::CheckError; arbitrary bytes
+/// never produce an out-of-domain MicroOp.
 class TraceReader {
  public:
   explicit TraceReader(const std::string& path);
+  /// Reads from an arbitrary binary stream (in-memory traces, fuzzing).
+  /// The stream must outlive the reader.
+  explicit TraceReader(std::istream& in);
 
   /// Reads the next record; returns false at end of trace.
   bool next(cpu::MicroOp& op);
@@ -59,7 +65,10 @@ class TraceReader {
   [[nodiscard]] std::uint64_t count() const { return count_; }
 
  private:
-  std::ifstream in_;
+  void read_header(const std::string& source);
+
+  std::ifstream file_;  // backing storage for the path constructor
+  std::istream* in_ = nullptr;
   std::uint64_t count_ = 0;
   std::uint64_t read_ = 0;
 };

@@ -1,0 +1,668 @@
+// Differential tests: production components vs the analytical reference
+// models in src/ref/, driven by the property-based harness (proptest.h).
+// Every test runs >= 200 randomized cases from a fixed seed; failures
+// print a shrunk tape and a seed/case recipe (see docs/testing.md).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/event_queue.h"
+#include "common/units.h"
+#include "dram/controller.h"
+#include "dram/module.h"
+#include "dram/timings.h"
+#include "dram/types.h"
+#include "moca/classifier.h"
+#include "os/os.h"
+#include "os/physical_memory.h"
+#include "os/policy.h"
+#include "os/types.h"
+#include "proptest.h"
+#include "ref/classifier.h"
+#include "ref/dram_timing.h"
+#include "ref/frame_ledger.h"
+#include "ref/stat_check.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/system.h"
+
+namespace {
+
+using moca::proptest::Config;
+using moca::proptest::Gen;
+using moca::proptest::Result;
+
+const std::vector<moca::dram::MemKind> kAllKinds = {
+    moca::dram::MemKind::kDdr3, moca::dram::MemKind::kDdr4,
+    moca::dram::MemKind::kLpddr2, moca::dram::MemKind::kRldram3,
+    moca::dram::MemKind::kHbm};
+
+std::string join_issues(const std::vector<std::string>& issues) {
+  std::string out;
+  for (const std::string& s : issues) {
+    out += "  - " + s + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Harness self-test: the shrinker must land on the minimal counterexample.
+// ---------------------------------------------------------------------------
+
+TEST(Proptest, ShrinksToMinimalCounterexample) {
+  const auto prop = [](Gen& g) {
+    const std::uint64_t v = g.below(1000);
+    PROP_REQUIRE(v < 500);
+  };
+  Config cfg;
+  cfg.seed = 42;
+  cfg.cases = 200;
+  const Result r = moca::proptest::check("v-below-500", cfg, prop);
+  ASSERT_FALSE(r.ok);
+  // 500 is the least value falsifying the property; binary descent must
+  // find exactly it, and the failure message must carry the repro recipe.
+  EXPECT_NE(r.message.find("shrunk tape (1 draws): {500ull}"),
+            std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("MOCA_PROPTEST_SEED=42"), std::string::npos)
+      << r.message;
+
+  // The printed tape replays to the same failure.
+  const Result replay =
+      moca::proptest::check_tape("v-below-500", {500ull}, prop);
+  EXPECT_FALSE(replay.ok);
+  const Result pass = moca::proptest::check_tape("v-below-500", {499ull}, prop);
+  EXPECT_TRUE(pass.ok) << pass.message;
+}
+
+TEST(Proptest, SameSeedSameTape) {
+  // Determinism: recording twice from one seed draws identical values.
+  Gen a{123456}, b{123456};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(a.u64(), b.u64());
+    ASSERT_EQ(a.below(97), b.below(97));
+  }
+  ASSERT_EQ(a.tape(), b.tape());
+}
+
+// ---------------------------------------------------------------------------
+// Classifier vs ref::classify_point (paper Sec. III-B).
+// ---------------------------------------------------------------------------
+
+TEST(Differential, ClassifierMatchesReference) {
+  const auto prop = [](Gen& g) {
+    moca::core::Thresholds t;
+    // Integral thresholds so boundary-exact counts are constructible: a
+    // transcription bug in either inequality direction then flips the
+    // class of a point sitting exactly on the threshold.
+    t.thr_lat = static_cast<double>(g.range(0, 4));
+    t.thr_bw = static_cast<double>(g.range(0, 40));
+
+    const auto draw_counts = [&](std::uint64_t& instr, std::uint64_t& llc,
+                                 std::uint64_t& load_llc,
+                                 std::uint64_t& stall) {
+      if (g.chance(0.5)) {
+        // Boundary-exact: MPKI == thr_lat and stall/miss == thr_bw.
+        const std::uint64_t k = g.range(1, 1000);
+        instr = 1000 * k;
+        llc = static_cast<std::uint64_t>(t.thr_lat) * k;
+        load_llc = g.range(1, 1000);
+        stall = static_cast<std::uint64_t>(t.thr_bw) * load_llc;
+      } else {
+        instr = g.below(2'000'000);
+        llc = g.below(instr + 1000);
+        load_llc = g.below(llc + 1);
+        stall = g.below(1'000'000);
+      }
+    };
+
+    moca::core::AppProfile profile;
+    profile.app_name = "prop-app";
+    draw_counts(profile.instructions, profile.llc_misses,
+                profile.load_llc_misses, profile.rob_stall_cycles);
+    const std::uint64_t num_objects = g.range(0, 3);
+    for (std::uint64_t i = 0; i < num_objects; ++i) {
+      moca::core::ObjectProfile obj;
+      obj.name = i + 1;
+      std::uint64_t unused_instr = 0;
+      if (g.chance(0.5)) {
+        // Object MPKI is relative to the app's instructions; pin the
+        // boundary against those.
+        obj.llc_misses = static_cast<std::uint64_t>(t.thr_lat) *
+                         (profile.instructions / 1000);
+        obj.load_llc_misses = g.range(1, 1000);
+        obj.rob_stall_cycles =
+            static_cast<std::uint64_t>(t.thr_bw) * obj.load_llc_misses;
+      } else {
+        draw_counts(unused_instr, obj.llc_misses, obj.load_llc_misses,
+                    obj.rob_stall_cycles);
+      }
+      profile.objects[obj.name] = obj;
+
+      const moca::os::MemClass prod = moca::core::classify_object(
+          obj, profile.instructions, t);
+      const moca::os::MemClass ref = moca::ref::classify_object_counts(
+          obj.llc_misses, profile.instructions, obj.rob_stall_cycles,
+          obj.load_llc_misses, t);
+      PROP_REQUIRE_MSG(
+          prod == ref,
+          "object: production " << moca::os::to_string(prod)
+                                << " vs reference "
+                                << moca::os::to_string(ref) << " at mpki="
+                                << obj.mpki(profile.instructions)
+                                << " stall=" << obj.stall_per_miss()
+                                << " thr_lat=" << t.thr_lat
+                                << " thr_bw=" << t.thr_bw);
+    }
+
+    const moca::core::ClassifiedApp prod = moca::core::classify(profile, t);
+    const moca::core::ClassifiedApp ref =
+        moca::ref::classify_profile(profile, t);
+    PROP_REQUIRE_MSG(prod.app_class == ref.app_class,
+                     "app class: production "
+                         << moca::os::to_string(prod.app_class)
+                         << " vs reference "
+                         << moca::os::to_string(ref.app_class) << " at mpki="
+                         << profile.app_mpki() << " stall="
+                         << profile.app_stall_per_miss() << " thr_lat="
+                         << t.thr_lat << " thr_bw=" << t.thr_bw);
+    PROP_REQUIRE_MSG(prod.object_class == ref.object_class,
+                     "per-object class maps diverge");
+  };
+
+  Config cfg;
+  cfg.seed = 0xC1A551F1;
+  cfg.cases = 300;
+  const Result r = moca::proptest::check("classifier-vs-ref", cfg, prop);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// FrameAllocator / PhysicalMemory vs ref::FrameLedger.
+// ---------------------------------------------------------------------------
+
+TEST(Differential, FrameAllocatorMatchesLedger) {
+  const auto prop = [](Gen& g) {
+    moca::EventQueue events;
+    std::vector<std::unique_ptr<moca::dram::MemoryModule>> modules;
+    moca::os::PhysicalMemory phys;
+    moca::ref::FrameLedger ledger;
+
+    const std::uint64_t num_modules = g.range(1, 4);
+    for (std::uint64_t m = 0; m < num_modules; ++m) {
+      const moca::dram::MemKind kind = g.pick(kAllKinds);
+      const std::uint64_t frames = g.range(1, 48);
+      const std::string name = "m" + std::to_string(m);
+      modules.push_back(std::make_unique<moca::dram::MemoryModule>(
+          moca::dram::make_device(kind), frames * moca::kPageBytes, 1,
+          events, name));
+      phys.add_module(modules.back().get());
+      ledger.add_module(name, kind, frames);
+    }
+
+    std::vector<moca::os::Pfn> live;
+    const std::uint64_t ops = g.range(1, 250);
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      if (live.empty() || g.chance(0.6)) {
+        const auto m = static_cast<std::uint32_t>(g.below(num_modules));
+        const auto got = phys.try_allocate(m);
+        const auto want = ledger.allocate(m);
+        PROP_REQUIRE_MSG(got.has_value() == want.has_value(),
+                         "module " << m << ": production "
+                                   << (got ? "allocated" : "full")
+                                   << " but ledger "
+                                   << (want ? "allocated" : "full"));
+        if (got) {
+          PROP_REQUIRE_MSG(*got == *want, "module " << m << ": production pfn "
+                                                    << *got << " vs ledger "
+                                                    << *want);
+          live.push_back(*got);
+        }
+      } else {
+        const std::size_t victim =
+            static_cast<std::size_t>(g.below(live.size()));
+        const moca::os::Pfn pfn = live[victim];
+        live[victim] = live.back();
+        live.pop_back();
+        phys.free(pfn);
+        ledger.free(pfn);
+      }
+      if (op % 32 == 31) ledger.check_against(phys);
+    }
+    ledger.check_against(phys);  // throws CheckError on any divergence
+  };
+
+  Config cfg;
+  cfg.seed = 0xF4A3E;
+  cfg.cases = 200;
+  const Result r = moca::proptest::check("frame-allocator-vs-ledger", cfg,
+                                         prop);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// Os fallback-chain placement vs ref::FrameLedger::allocate_chain
+// (paper Sec. III-C).
+// ---------------------------------------------------------------------------
+
+/// Policy returning a generated preference chain per segment, including
+/// empty chains (straight to last resort) and kinds absent from the
+/// machine (skipped without consuming round-robin steps).
+class RandomChainPolicy final : public moca::os::AllocationPolicy {
+ public:
+  std::vector<std::vector<moca::dram::MemKind>> chains;  // by Segment index
+
+  [[nodiscard]] std::vector<moca::dram::MemKind> preference(
+      const moca::os::PageContext& context) const override {
+    return chains[static_cast<std::size_t>(context.segment)];
+  }
+  [[nodiscard]] std::string name() const override { return "random-chain"; }
+};
+
+TEST(Differential, FallbackChainMatchesLedger) {
+  const auto prop = [](Gen& g) {
+    moca::EventQueue events;
+    std::vector<std::unique_ptr<moca::dram::MemoryModule>> modules;
+    moca::os::PhysicalMemory phys;
+    moca::ref::FrameLedger ledger;
+
+    const std::uint64_t num_modules = g.range(1, 4);
+    for (std::uint64_t m = 0; m < num_modules; ++m) {
+      const moca::dram::MemKind kind = g.pick(kAllKinds);
+      const std::uint64_t frames = g.range(1, 24);
+      const std::string name = "m" + std::to_string(m);
+      modules.push_back(std::make_unique<moca::dram::MemoryModule>(
+          moca::dram::make_device(kind), frames * moca::kPageBytes, 1,
+          events, name));
+      phys.add_module(modules.back().get());
+      ledger.add_module(name, kind, frames);
+    }
+
+    RandomChainPolicy policy;
+    policy.chains.resize(6);
+    for (auto& chain : policy.chains) {
+      const std::uint64_t len = g.range(0, 3);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        chain.push_back(g.pick(kAllKinds));
+      }
+    }
+
+    moca::os::Os os(phys, policy);
+    const std::uint64_t num_procs = g.range(1, 2);
+    std::vector<moca::os::ProcessId> pids;
+    for (std::uint64_t p = 0; p < num_procs; ++p) {
+      pids.push_back(os.create_process());
+    }
+
+    const std::vector<moca::os::VirtAddr> bases = {
+        moca::os::kCodeBase,    moca::os::kDataBase,
+        moca::os::kStackBase,   moca::os::kHeapLatBase,
+        moca::os::kHeapBwBase,  moca::os::kHeapPowBase};
+    std::map<std::pair<moca::os::ProcessId, moca::os::Vpn>, moca::os::Pfn>
+        mapping;
+    bool machine_full = false;
+
+    const std::uint64_t ops = g.range(1, 120);
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      const moca::os::ProcessId pid = g.pick(pids);
+      if (!mapping.empty() && g.chance(0.2)) {
+        // Page migration: predict the exact target frame.
+        auto it = mapping.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(g.below(mapping.size())));
+        const auto [owner, vpn] = it->first;
+        const auto target = static_cast<std::uint32_t>(g.below(num_modules));
+        const auto predicted = ledger.allocate(target);
+        const auto result = os.try_remap(owner, vpn, target);
+        PROP_REQUIRE_MSG(result.has_value() == predicted.has_value(),
+                         "remap to module " << target << ": production "
+                                            << (result ? "moved" : "full")
+                                            << " but ledger predicted "
+                                            << (predicted ? "moved" : "full"));
+        if (result) {
+          PROP_REQUIRE_MSG(result->old_pfn == it->second &&
+                               result->new_pfn == *predicted,
+                           "remap pfns: production " << result->old_pfn
+                                                     << "->" << result->new_pfn
+                                                     << " vs ledger "
+                                                     << it->second << "->"
+                                                     << *predicted);
+          ledger.free(result->old_pfn);
+          it->second = *predicted;
+        }
+        continue;
+      }
+
+      const moca::os::VirtAddr vaddr =
+          g.pick(bases) + g.below(48) * moca::kPageBytes +
+          g.below(moca::kPageBytes);
+      const moca::os::Vpn vpn = vaddr >> moca::kPageShift;
+      const auto key = std::make_pair(pid, vpn);
+      const auto known = mapping.find(key);
+
+      if (known != mapping.end()) {
+        const auto r = os.translate(pid, vaddr);
+        PROP_REQUIRE_MSG(!r.page_fault, "refault of a mapped page");
+        PROP_REQUIRE_MSG(r.paddr >> moca::kPageShift == known->second,
+                         "mapped page moved: paddr frame "
+                             << (r.paddr >> moca::kPageShift)
+                             << " vs recorded " << known->second);
+        continue;
+      }
+
+      if (machine_full) continue;
+      const auto chain =
+          policy.chains[static_cast<std::size_t>(moca::os::segment_of(vaddr))];
+      const auto predicted = ledger.allocate_chain(chain);
+      if (!predicted) {
+        // Production throws: the simulated machine is out of memory.
+        bool threw = false;
+        try {
+          (void)os.translate(pid, vaddr);
+        } catch (const moca::CheckError&) {
+          threw = true;
+        }
+        PROP_REQUIRE_MSG(threw,
+                         "ledger says out-of-memory but translate succeeded");
+        machine_full = true;
+        continue;
+      }
+      const auto r = os.translate(pid, vaddr);
+      PROP_REQUIRE_MSG(r.page_fault, "first touch did not fault");
+      PROP_REQUIRE_MSG(
+          r.paddr >> moca::kPageShift == predicted->pfn,
+          "placement: production frame " << (r.paddr >> moca::kPageShift)
+                                         << " vs ledger " << predicted->pfn
+                                         << " (fallback=" << predicted->fallback
+                                         << " last_resort="
+                                         << predicted->last_resort << ")");
+      PROP_REQUIRE((r.paddr & (moca::kPageBytes - 1)) ==
+                   (vaddr & (moca::kPageBytes - 1)));
+      mapping[key] = predicted->pfn;
+    }
+
+    const moca::os::OsStats& stats = os.stats();
+    PROP_REQUIRE_MSG(
+        stats.fallback_allocations == ledger.fallback_allocations(),
+        "fallback spills: production " << stats.fallback_allocations
+                                       << " vs ledger "
+                                       << ledger.fallback_allocations());
+    PROP_REQUIRE_MSG(
+        stats.last_resort_allocations == ledger.last_resort_allocations(),
+        "last-resort spills: production "
+            << stats.last_resort_allocations << " vs ledger "
+            << ledger.last_resort_allocations());
+    ledger.check_against(os);  // page tables vs ledger, frame accounting
+  };
+
+  Config cfg;
+  cfg.seed = 0x0511C;
+  cfg.cases = 200;
+  const Result r = moca::proptest::check("fallback-chain-vs-ledger", cfg,
+                                         prop);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// dram::ChannelController vs ref::DramTiming on serialized streams.
+// ---------------------------------------------------------------------------
+
+TEST(Differential, DramTimingMatchesReference) {
+  const auto prop = [](Gen& g) {
+    moca::dram::DeviceConfig config =
+        moca::dram::make_device(g.pick(kAllKinds));
+    const std::vector<std::uint32_t> bank_counts = {1, 2, 4, 8};
+    config.geometry.banks_per_channel = g.pick(bank_counts);
+    if (g.chance(0.3)) {
+      config.geometry.open_page = !config.geometry.open_page;
+    }
+    // Compress the refresh interval so the stream crosses several refresh
+    // ticks; keep it well above tRFC so the train never falls behind.
+    config.timings.tREFI =
+        config.timings.tRFC * 2 + 100'001 + 2 * g.below(1'000'000);
+
+    moca::EventQueue events;
+    moca::dram::ChannelController controller(config, events, "chan");
+    moca::ref::DramTiming model(config);
+
+    moca::TimePs prev_completion = 0;
+    const std::uint64_t requests = g.range(10, 60);
+    for (std::uint64_t i = 0; i < requests; ++i) {
+      const moca::TimePs arrival = prev_completion + g.below(200'000);
+      const auto bank = static_cast<std::uint32_t>(
+          g.below(config.geometry.banks_per_channel));
+      const std::uint64_t row = g.below(4);
+      const bool is_write = g.chance(0.3);
+
+      events.run_until(arrival);
+      bool done = false;
+      moca::TimePs done_at = 0;
+      moca::dram::DramRequest request;
+      request.addr = row * config.geometry.row_bytes;
+      request.is_write = is_write;
+      request.arrival = arrival;
+      request.on_complete = [&](moca::TimePs when) {
+        done = true;
+        done_at = when;
+      };
+      controller.enqueue(std::move(request), bank, row);
+
+      const moca::ref::DramTiming::Result expected =
+          model.access(arrival, is_write, bank, row);
+      events.run_until(expected.completion);
+      // If the model predicted too early the request is still in flight:
+      // chase the actual completion for a useful failure message.
+      for (int probe = 0; probe < 10'000 && !done; ++probe) {
+        events.run_until(events.now() + 10'000);
+      }
+      PROP_REQUIRE_MSG(done, "request " << i << " never completed near "
+                                        << expected.completion);
+      PROP_REQUIRE_MSG(done_at == expected.completion,
+                       "request " << i << " (bank " << bank << " row " << row
+                                  << (is_write ? " write" : " read")
+                                  << " arrival " << arrival
+                                  << "): controller completed at " << done_at
+                                  << ", reference predicted "
+                                  << expected.completion);
+      prev_completion = done_at;
+    }
+
+    const moca::dram::ChannelStats& stats = controller.stats();
+    PROP_REQUIRE_MSG(stats.row_hits == model.row_hits(),
+                     "row hits: controller " << stats.row_hits
+                                             << " vs reference "
+                                             << model.row_hits());
+    PROP_REQUIRE_MSG(stats.row_misses == model.row_misses(),
+                     "row misses: controller " << stats.row_misses
+                                               << " vs reference "
+                                               << model.row_misses());
+    PROP_REQUIRE_MSG(stats.row_conflicts == model.row_conflicts(),
+                     "row conflicts: controller " << stats.row_conflicts
+                                                  << " vs reference "
+                                                  << model.row_conflicts());
+  };
+
+  Config cfg;
+  cfg.seed = 0xD3A171;
+  cfg.cases = 200;
+  const Result r = moca::proptest::check("dram-timing-vs-ref", cfg, prop);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// ref::StatCheck on synthetic consistent results + mutation detection.
+// ---------------------------------------------------------------------------
+
+moca::sim::RunResult make_consistent_result(Gen& g) {
+  moca::sim::RunResult r;
+  r.memsys_name = "Hetero-1";
+  r.policy_name = "moca";
+
+  const std::uint64_t num_cores = g.range(1, 4);
+  for (std::uint64_t c = 0; c < num_cores; ++c) {
+    moca::sim::CoreResult core;
+    core.app_name = "app" + std::to_string(c);
+    core.core.committed = g.range(1, 1'000'000);
+    core.core.cycles = static_cast<moca::Cycle>(g.range(1, 2'000'000));
+    core.core.rob_head_stall_cycles =
+        static_cast<moca::Cycle>(g.below(500'000));
+    core.core.tlb_misses = g.below(10'000);
+    core.hierarchy.llc_misses = g.below(50'000);
+    core.finish_time = static_cast<moca::TimePs>(g.range(1, 1'000'000'000));
+    r.exec_time = std::max(r.exec_time, core.finish_time);
+    r.total_instructions += core.core.committed;
+    r.total_llc_misses += core.hierarchy.llc_misses;
+    r.cores.push_back(std::move(core));
+  }
+
+  std::uint64_t total_frames_used = 0;
+  const std::uint64_t num_modules = g.range(1, 3);
+  for (std::uint64_t m = 0; m < num_modules; ++m) {
+    moca::sim::ModuleResult mod;
+    mod.name = "mod" + std::to_string(m);
+    mod.kind = g.pick(kAllKinds);
+    const std::uint64_t frames = g.range(1, 4096);
+    mod.capacity_bytes = frames * moca::kPageBytes;
+    mod.frames_used = g.below(frames + 1);
+    mod.stats.reads = g.below(100'000);
+    mod.stats.writes = g.below(100'000);
+    const std::uint64_t accesses = mod.stats.reads + mod.stats.writes;
+    mod.stats.row_hits = g.below(accesses + 1);
+    mod.stats.row_misses = g.below(accesses - mod.stats.row_hits + 1);
+    mod.stats.row_conflicts =
+        accesses - mod.stats.row_hits - mod.stats.row_misses;
+    mod.stats.queue_time_ps = static_cast<moca::TimePs>(g.below(1'000'000));
+    mod.stats.service_time_ps = static_cast<moca::TimePs>(g.below(1'000'000));
+    mod.energy_j = g.unit_double() * 0.1;
+    r.total_mem_access_time += mod.stats.total_access_time_ps();
+    r.memory_energy_j += mod.energy_j;
+    total_frames_used += mod.frames_used;
+    r.os_stats.frames_per_module.push_back(mod.frames_used);
+    r.modules.push_back(std::move(mod));
+  }
+
+  r.core_energy_j = g.unit_double();
+  r.os_stats.page_faults = total_frames_used + g.below(100);
+  r.os_stats.fallback_allocations = g.below(1000);
+  r.os_stats.last_resort_allocations =
+      g.below(r.os_stats.fallback_allocations + 1);
+
+  if (g.chance(0.5)) {
+    auto& ts = r.observability;
+    ts.epoch_instructions = 1000;
+    ts.columns = {"cpu/ipc", "faults/frame_denied", "os/page_faults"};
+    ts.kinds = {moca::StatKind::kRatio, moca::StatKind::kCounter,
+                moca::StatKind::kCounter};
+    const std::uint64_t rows = g.range(1, 5);
+    moca::TimePs t = 0;
+    std::uint64_t instr = 0;
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      moca::EpochRow row;
+      row.epoch = i;
+      t += g.below(1'000'000);
+      instr += g.range(1, 1000);
+      row.time_ps = t;
+      row.instructions = instr;
+      row.values = {g.unit_double() * 4.0, g.unit_double() * 10.0,
+                    g.unit_double() * 100.0};
+      ts.rows.push_back(std::move(row));
+    }
+  }
+  return r;
+}
+
+TEST(Differential, StatCheckAcceptsConsistentResults) {
+  const auto prop = [](Gen& g) {
+    const moca::sim::RunResult r = make_consistent_result(g);
+    const auto issues = moca::ref::check_run_result(r);
+    PROP_REQUIRE_MSG(issues.empty(),
+                     "consistent result flagged:\n" << join_issues(issues));
+    const std::string json = moca::sim::to_json(r);
+    const auto report_issues = moca::ref::check_report_json(json, r);
+    PROP_REQUIRE_MSG(report_issues.empty(),
+                     "faithful report flagged:\n"
+                         << join_issues(report_issues));
+  };
+
+  Config cfg;
+  cfg.seed = 0x57A7;
+  cfg.cases = 200;
+  const Result r = moca::proptest::check("statcheck-consistent", cfg, prop);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(Differential, StatCheckFlagsEveryMutation) {
+  const auto prop = [](Gen& g) {
+    moca::sim::RunResult r = make_consistent_result(g);
+    const std::string json = moca::sim::to_json(r);
+
+    const std::uint64_t mutation = g.below(6);
+    switch (mutation) {
+      case 0:
+        r.total_instructions += 1;
+        break;
+      case 1:
+        r.cores[0].core.committed += 1;
+        break;
+      case 2:
+        r.exec_time += 1;
+        break;
+      case 3:
+        r.modules[0].stats.row_hits += 1;  // accesses identity breaks
+        break;
+      case 4:
+        r.total_mem_access_time += 1;
+        break;
+      case 5:
+        r.os_stats.page_faults =
+            r.os_stats.page_faults == 0 ? 1 : r.os_stats.page_faults - 1;
+        break;
+    }
+
+    const bool flagged = !moca::ref::check_run_result(r).empty() ||
+                         !moca::ref::check_report_json(json, r).empty();
+    PROP_REQUIRE_MSG(flagged,
+                     "mutation " << mutation << " survived both checkers");
+  };
+
+  Config cfg;
+  cfg.seed = 0xBADC0DE;
+  cfg.cases = 200;
+  const Result r = moca::proptest::check("statcheck-mutations", cfg, prop);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// ref::StatCheck over real simulator runs (end-to-end cross-check).
+// ---------------------------------------------------------------------------
+
+TEST(Differential, StatCheckAcceptsRealRuns) {
+  moca::sim::Experiment experiment;
+  experiment.instructions = 40'000;
+  experiment.warmup = 5'000;
+  experiment.observability.epoch_instructions = 5'000;
+  const auto db = moca::sim::build_profile_db({"gcc"}, experiment);
+
+  for (const moca::sim::SystemChoice choice :
+       {moca::sim::SystemChoice::kHomogenDdr3,
+        moca::sim::SystemChoice::kMoca}) {
+    const moca::sim::RunResult r =
+        moca::sim::run_single("gcc", choice, db, experiment);
+    const auto issues = moca::ref::check_run_result(r);
+    EXPECT_TRUE(issues.empty())
+        << moca::sim::to_string(choice) << ":\n" << join_issues(issues);
+    const auto report_issues =
+        moca::ref::check_report_json(moca::sim::to_json(r), r);
+    EXPECT_TRUE(report_issues.empty())
+        << moca::sim::to_string(choice) << ":\n"
+        << join_issues(report_issues);
+  }
+}
+
+}  // namespace

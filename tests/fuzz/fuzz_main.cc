@@ -1,0 +1,160 @@
+// Standalone driver for the libFuzzer-style targets in this directory.
+//
+// Each fuzz_*.cc defines the standard entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// so the same source links against real libFuzzer when a clang toolchain is
+// available (configure with -DMOCA_USE_LIBFUZZER=ON, which drops this file
+// and adds -fsanitize=fuzzer). Under the default GCC toolchain this driver
+// provides main(): it replays every corpus file passed on the command line
+// (files or directories), then runs a time-boxed, fully deterministic
+// mutation loop seeded from the corpus — truncations, byte flips, splices
+// and random tails. No coverage feedback, but with ASan/UBSan it is a real
+// smoke test: any crash, leak or UB on arbitrary bytes fails the run.
+//
+//   fuzz_workload_parser [--seconds N] corpus/workload_parser
+//
+// MOCA_FUZZ_SECONDS overrides the default 2-second budget (CI uses 60).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+using Input = std::vector<std::uint8_t>;
+
+Input read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+/// One deterministic mutation of `base`.
+Input mutate(const Input& base, std::uint64_t& rng) {
+  Input out = base;
+  const std::uint64_t kind = splitmix64(rng) % 5;
+  switch (kind) {
+    case 0:  // truncate
+      if (!out.empty()) out.resize(splitmix64(rng) % out.size());
+      break;
+    case 1:  // flip bytes
+      if (!out.empty()) {
+        const std::size_t flips = 1 + splitmix64(rng) % 8;
+        for (std::size_t i = 0; i < flips; ++i) {
+          out[splitmix64(rng) % out.size()] ^=
+              static_cast<std::uint8_t>(splitmix64(rng));
+        }
+      }
+      break;
+    case 2: {  // insert random bytes
+      const std::size_t n = 1 + splitmix64(rng) % 16;
+      const std::size_t at = out.empty() ? 0 : splitmix64(rng) % out.size();
+      Input tail(out.begin() + static_cast<std::ptrdiff_t>(at), out.end());
+      out.resize(at);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(splitmix64(rng)));
+      }
+      out.insert(out.end(), tail.begin(), tail.end());
+      break;
+    }
+    case 3: {  // duplicate a slice (splice with itself)
+      if (!out.empty()) {
+        const std::size_t from = splitmix64(rng) % out.size();
+        const std::size_t len =
+            1 + splitmix64(rng) % (out.size() - from);
+        out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(from),
+                   out.begin() + static_cast<std::ptrdiff_t>(from + len));
+      }
+      break;
+    }
+    default: {  // fresh random input
+      out.assign(splitmix64(rng) % 256, 0);
+      for (std::uint8_t& b : out) {
+        b = static_cast<std::uint8_t>(splitmix64(rng));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  if (const char* env = std::getenv("MOCA_FUZZ_SECONDS")) {
+    seconds = std::strtod(env, nullptr);
+  }
+  std::vector<std::filesystem::path> corpus_args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::strtod(argv[++i], nullptr);
+    } else {
+      corpus_args.emplace_back(argv[i]);
+    }
+  }
+
+  // Phase 1: replay the corpus verbatim.
+  std::vector<Input> corpus;
+  for (const std::filesystem::path& arg : corpus_args) {
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& f : files) corpus.push_back(read_file(f));
+    } else if (std::filesystem::is_regular_file(arg)) {
+      corpus.push_back(read_file(arg));
+    } else {
+      std::fprintf(stderr, "fuzz: no such corpus path: %s\n",
+                   arg.string().c_str());
+      return 2;
+    }
+  }
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  if (corpus.empty()) corpus.emplace_back();  // mutate from the empty input
+
+  // Phase 2: time-boxed deterministic mutation loop over the corpus.
+  std::uint64_t rng = 0x5EEDULL;
+  if (const char* env = std::getenv("MOCA_FUZZ_SEED")) {
+    rng = std::strtoull(env, nullptr, 0);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+  std::uint64_t executions = corpus.size();
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Batch between clock reads; parsing is microseconds per input.
+    for (int i = 0; i < 64; ++i) {
+      const Input& base = corpus[splitmix64(rng) % corpus.size()];
+      const Input mutated = mutate(base, rng);
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+      ++executions;
+    }
+  }
+  std::printf("fuzz: %llu inputs, %zu corpus seeds, no crash\n",
+              static_cast<unsigned long long>(executions), corpus.size());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fuzz target: workload::parse_app_spec on arbitrary bytes.
+//
+// Contract under test: malformed text throws CheckError (never crashes,
+// never trips ASan/UBSan), and any text that parses must serialize into a
+// canonical form that re-parses to the same canonical form (round-trip
+// idempotence) — a parser/serializer disagreement is a bug even when both
+// sides are individually "working".
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "workload/parse.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  moca::workload::AppSpec spec;
+  try {
+    spec = moca::workload::parse_app_spec(text);
+  } catch (const moca::CheckError&) {
+    return 0;  // rejected cleanly — the expected fate of random bytes
+  }
+
+  // Accepted: the canonical serialization must survive a round trip.
+  try {
+    const std::string canonical = moca::workload::serialize_app_spec(spec);
+    const moca::workload::AppSpec reparsed =
+        moca::workload::parse_app_spec(canonical);
+    const std::string again = moca::workload::serialize_app_spec(reparsed);
+    if (canonical != again) {
+      std::fprintf(stderr,
+                   "round-trip divergence for accepted input:\n--- first\n"
+                   "%s\n--- second\n%s\n",
+                   canonical.c_str(), again.c_str());
+      std::abort();
+    }
+  } catch (const moca::CheckError& e) {
+    std::fprintf(stderr,
+                 "serialize/re-parse of an accepted spec threw: %s\n",
+                 e.what());
+    std::abort();
+  }
+  return 0;
+}

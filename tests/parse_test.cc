@@ -183,6 +183,149 @@ TEST(ExperimentOptionsTest, FlagBeatsEnvBeatsDefault) {
   EXPECT_FALSE(defaults.experiment.observability.enabled());
 }
 
+/// Clears every environment variable from_env() reads, so each test starts
+/// from a known state and leaves no residue for later tests in this binary.
+void clear_sim_env() {
+  for (const char* name :
+       {"MOCA_SIM_INSTR", "MOCA_SIM_WARMUP", "MOCA_SIM_CONFIG",
+        "MOCA_SIM_EPOCH", "MOCA_SIM_TRACE", "MOCA_SIM_JOBS",
+        "MOCA_SWEEP_LOG", "MOCA_SIM_FAULTS", "MOCA_SIM_TIMEOUT_MS",
+        "MOCA_SIM_RETRIES", "MOCA_SIM_AUDIT"}) {
+    unsetenv(name);
+  }
+}
+
+TEST(ExperimentOptionsTest, EnvOverlaysEveryKnob) {
+  clear_sim_env();
+  setenv("MOCA_SIM_INSTR", "123000", 1);
+  setenv("MOCA_SIM_WARMUP", "7000", 1);
+  setenv("MOCA_SIM_CONFIG", "2", 1);
+  setenv("MOCA_SIM_EPOCH", "4000", 1);
+  setenv("MOCA_SIM_TRACE", "/tmp/env-trace.json", 1);
+  setenv("MOCA_SIM_JOBS", "3", 1);
+  setenv("MOCA_SWEEP_LOG", "1", 1);
+  setenv("MOCA_SIM_FAULTS", "job:fail:attempts=1", 1);
+  setenv("MOCA_SIM_TIMEOUT_MS", "2500", 1);
+  setenv("MOCA_SIM_RETRIES", "5", 1);
+  setenv("MOCA_SIM_AUDIT", "1", 1);
+
+  const ExperimentOptions o = ExperimentOptions::from_env();
+  EXPECT_EQ(o.experiment.instructions, 123'000u);
+  EXPECT_TRUE(o.instructions_overridden);
+  EXPECT_EQ(o.experiment.warmup, 7000u);
+  EXPECT_EQ(o.experiment.hetero_config, 2);
+  EXPECT_EQ(o.experiment.observability.epoch_instructions, 4000u);
+  EXPECT_EQ(o.trace_out, "/tmp/env-trace.json");
+  EXPECT_TRUE(o.experiment.observability.trace);
+  EXPECT_EQ(o.jobs, 3u);
+  EXPECT_TRUE(o.sweep_log);
+  EXPECT_EQ(o.experiment.faults.text(), "job:fail:attempts=1");
+  EXPECT_DOUBLE_EQ(o.supervisor.timeout_ms, 2500.0);
+  EXPECT_EQ(o.supervisor.max_attempts, 5u);
+  EXPECT_TRUE(o.supervised);
+  EXPECT_TRUE(o.experiment.observability.audit);
+  clear_sim_env();
+}
+
+TEST(ExperimentOptionsTest, DefaultsWhenNothingIsSet) {
+  clear_sim_env();
+  const ExperimentOptions o = ExperimentOptions::from_env();
+  const Experiment fresh;
+  EXPECT_EQ(o.experiment.instructions, fresh.instructions);
+  EXPECT_FALSE(o.instructions_overridden);
+  EXPECT_EQ(o.experiment.warmup, 0u);
+  EXPECT_EQ(o.experiment.hetero_config, fresh.hetero_config);
+  EXPECT_FALSE(o.experiment.observability.enabled());
+  EXPECT_TRUE(o.trace_out.empty());
+  EXPECT_EQ(o.jobs, 0u);
+  EXPECT_FALSE(o.sweep_log);
+  EXPECT_TRUE(o.experiment.faults.empty());
+  EXPECT_DOUBLE_EQ(o.supervisor.timeout_ms, 0.0);
+  EXPECT_EQ(o.supervisor.max_attempts, SupervisorOptions{}.max_attempts);
+  EXPECT_FALSE(o.supervised);
+}
+
+TEST(ExperimentOptionsTest, FlagBeatsEnvOnEveryConflictingKnob) {
+  // Every value-carrying knob spelled BOTH ways with conflicting values:
+  // the flag must win each conflict.
+  clear_sim_env();
+  setenv("MOCA_SIM_INSTR", "111000", 1);
+  setenv("MOCA_SIM_WARMUP", "1000", 1);
+  setenv("MOCA_SIM_CONFIG", "2", 1);
+  setenv("MOCA_SIM_EPOCH", "1000", 1);
+  setenv("MOCA_SIM_TRACE", "/tmp/env.json", 1);
+  setenv("MOCA_SIM_JOBS", "2", 1);
+  setenv("MOCA_SIM_FAULTS", "job:fail", 1);
+  setenv("MOCA_SIM_TIMEOUT_MS", "1000", 1);
+  setenv("MOCA_SIM_RETRIES", "2", 1);
+
+  ExperimentOptions o = ExperimentOptions::from_env();
+  o.apply_flags(parse_vec({
+      "--instr", "222000", "--warmup", "3000", "--config", "3",
+      "--epoch", "6000", "--trace-out", "/tmp/flag.json", "--jobs", "8",
+      "--fault-plan", "alloc:p=0.5", "--timeout-ms", "9000",
+      "--retries", "7",
+  }));
+  EXPECT_EQ(o.experiment.instructions, 222'000u);
+  EXPECT_EQ(o.experiment.warmup, 3000u);
+  EXPECT_EQ(o.experiment.hetero_config, 3);
+  EXPECT_EQ(o.experiment.observability.epoch_instructions, 6000u);
+  EXPECT_EQ(o.trace_out, "/tmp/flag.json");
+  EXPECT_EQ(o.jobs, 8u);
+  EXPECT_EQ(o.experiment.faults.text(), "alloc:p=0.5");
+  EXPECT_DOUBLE_EQ(o.supervisor.timeout_ms, 9000.0);
+  EXPECT_EQ(o.supervisor.max_attempts, 7u);
+  EXPECT_TRUE(o.supervised);
+  clear_sim_env();
+}
+
+TEST(ExperimentOptionsTest, EnvAppliesWhereFlagsAreSilent) {
+  // Mixed precedence in one resolution: flagged knobs take the flag value,
+  // unflagged knobs keep the env value, untouched knobs keep defaults.
+  clear_sim_env();
+  setenv("MOCA_SIM_INSTR", "111000", 1);
+  setenv("MOCA_SIM_EPOCH", "1234", 1);
+  ExperimentOptions o = ExperimentOptions::from_env();
+  o.apply_flags(parse_vec({"--instr", "222000"}));
+  EXPECT_EQ(o.experiment.instructions, 222'000u);               // flag
+  EXPECT_EQ(o.experiment.observability.epoch_instructions, 1234u);  // env
+  EXPECT_EQ(o.experiment.hetero_config, Experiment{}.hetero_config);  // def
+  clear_sim_env();
+}
+
+TEST(ExperimentOptionsTest, RetriesEnvIsReadAndValidated) {
+  // Regression: MOCA_SIM_RETRIES was documented in the header's knob table
+  // but from_env() never read it, so supervised retry budgets silently
+  // ignored the environment spelling.
+  clear_sim_env();
+  setenv("MOCA_SIM_RETRIES", "4", 1);
+  const ExperimentOptions o = ExperimentOptions::from_env();
+  EXPECT_EQ(o.supervisor.max_attempts, 4u);
+  EXPECT_TRUE(o.supervised);
+
+  setenv("MOCA_SIM_RETRIES", "0", 1);
+  EXPECT_THROW((void)ExperimentOptions::from_env(), CheckError);
+  setenv("MOCA_SIM_RETRIES", "abc", 1);
+  EXPECT_THROW((void)ExperimentOptions::from_env(), CheckError);
+  clear_sim_env();
+}
+
+TEST(ExperimentOptionsTest, BooleanKnobsFromEitherSpelling) {
+  clear_sim_env();
+  setenv("MOCA_SIM_AUDIT", "1", 1);
+  setenv("MOCA_SWEEP_LOG", "1", 1);
+  ExperimentOptions from_env = ExperimentOptions::from_env();
+  EXPECT_TRUE(from_env.experiment.observability.audit);
+  EXPECT_TRUE(from_env.sweep_log);
+  clear_sim_env();
+
+  ExperimentOptions from_flags = ExperimentOptions::from_env();
+  EXPECT_FALSE(from_flags.experiment.observability.audit);
+  from_flags.apply_flags(parse_vec({"--audit", "--log"}));
+  EXPECT_TRUE(from_flags.experiment.observability.audit);
+  EXPECT_TRUE(from_flags.sweep_log);
+}
+
 TEST(ExperimentOptionsTest, TraceOutEnablesTracing) {
   unsetenv("MOCA_SIM_TRACE");
   ExperimentOptions options = ExperimentOptions::from_env();

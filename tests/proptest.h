@@ -1,0 +1,298 @@
+// Header-only property-based testing harness (rapidcheck-lite).
+//
+// A property is a callable taking a Gen&; it draws random values and throws
+// (PROP_REQUIRE, MOCA_CHECK, any exception) to falsify. check() runs the
+// property over N independently-seeded cases; on the first failure it
+// shrinks the case to a minimal counterexample and returns a Result whose
+// message contains everything needed to reproduce it:
+//
+//   EXPECT_TRUE(r.ok) << r.message;
+//
+// Reproduction (see docs/testing.md):
+//   * environment: MOCA_PROPTEST_SEED=<seed> MOCA_PROPTEST_CASE=<i> reruns
+//     exactly the failing case (unshrunk) under any test runner;
+//   * tape: the printed "shrunk tape" is the entropy sequence of the
+//     minimal counterexample — feed it to check_tape() in a scratch test to
+//     step through the minimal failure in a debugger.
+//
+// How shrinking works: Gen records every draw on a tape (bounded draws are
+// recorded post-reduction, so tape values are meaningful magnitudes). A
+// failing tape is minimized by greedy passes — truncation (a shorter tape
+// reads as "fewer/smaller draws": replay beyond the tape yields 0) and
+// per-element binary descent toward zero — re-running the property on
+// each candidate and keeping it whenever the property still fails. This
+// only terminates sensibly when the property is a deterministic function of
+// its draws, which is also what makes seed reproduction work; keep
+// wall-clock, ASLR and global state out of properties.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace moca::proptest {
+
+/// Thrown by PROP_REQUIRE; any other exception falsifies a property too,
+/// this one just reads better in reports.
+class Falsified : public std::runtime_error {
+ public:
+  explicit Falsified(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Entropy source handed to properties. Fresh draws come from a seeded Rng
+/// and are recorded; during shrinking the recorded tape is replayed
+/// (frozen), with draws past its end yielding 0 — the minimal value.
+class Gen {
+ public:
+  /// Recording generator (fresh entropy from `seed`).
+  explicit Gen(std::uint64_t seed) : rng_(seed) {}
+  /// Frozen generator replaying `tape`.
+  explicit Gen(std::vector<std::uint64_t> tape)
+      : frozen_(true), tape_(std::move(tape)) {}
+
+  [[nodiscard]] std::uint64_t u64() { return raw(); }
+
+  /// Uniform in [0, bound); bound must be positive. Recorded on the tape
+  /// post-reduction so shrinking descends through actual values.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) throw Falsified("Gen::below(0)");
+    if (cursor_ < tape_.size()) return tape_[cursor_++] % bound;
+    if (frozen_) {
+      ++cursor_;
+      return 0;
+    }
+    const std::uint64_t v = rng_.next_u64() % bound;
+    tape_.push_back(v);
+    ++cursor_;
+    return v;
+  }
+
+  /// Uniform in [lo, hi] (inclusive).
+  [[nodiscard]] std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw Falsified("Gen::range with lo > hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  [[nodiscard]] double unit_double() {
+    return static_cast<double>(raw() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p. A zero draw maps to false, so shrinking
+  /// drives booleans toward false.
+  [[nodiscard]] bool chance(double p) { return unit_double() < p; }
+
+  template <class T>
+  [[nodiscard]] const T& pick(const std::vector<T>& options) {
+    if (options.empty()) throw Falsified("Gen::pick on empty options");
+    return options[static_cast<std::size_t>(below(options.size()))];
+  }
+
+  /// The raw draws consumed so far (the shrink tape).
+  [[nodiscard]] const std::vector<std::uint64_t>& tape() const {
+    return tape_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t raw() {
+    if (cursor_ < tape_.size()) return tape_[cursor_++];
+    if (frozen_) {
+      ++cursor_;
+      return 0;
+    }
+    const std::uint64_t v = rng_.next_u64();
+    tape_.push_back(v);
+    ++cursor_;
+    return v;
+  }
+
+  Rng rng_{0};
+  bool frozen_ = false;
+  std::vector<std::uint64_t> tape_;
+  std::size_t cursor_ = 0;
+};
+
+using Property = std::function<void(Gen&)>;
+
+struct Config {
+  std::uint64_t seed = 0;
+  std::uint64_t cases = 200;
+  /// Property re-runs the shrinker may spend on one counterexample.
+  std::uint64_t shrink_budget = 1000;
+};
+
+struct Result {
+  bool ok = true;
+  std::string message;  // empty on success
+};
+
+namespace detail {
+
+struct RunOutcome {
+  bool failed = false;
+  std::string error;
+};
+
+inline RunOutcome run(Gen& gen, const Property& prop) {
+  try {
+    prop(gen);
+    return {};
+  } catch (const std::exception& e) {
+    return {true, e.what()};
+  } catch (...) {
+    return {true, "non-exception throw"};
+  }
+}
+
+inline RunOutcome run_tape(const std::vector<std::uint64_t>& tape,
+                           const Property& prop) {
+  Gen gen{tape};
+  return run(gen, prop);
+}
+
+/// Greedy tape minimization; `tape` must currently falsify `prop`.
+inline std::vector<std::uint64_t> shrink(std::vector<std::uint64_t> tape,
+                                         const Property& prop,
+                                         std::uint64_t budget,
+                                         std::string& error) {
+  const auto fails = [&](const std::vector<std::uint64_t>& t) {
+    if (budget == 0) return false;
+    --budget;
+    const RunOutcome o = run_tape(t, prop);
+    if (o.failed) error = o.error;
+    return o.failed;
+  };
+
+  // Pass 1: truncation (halve, then chip off single draws).
+  bool progress = true;
+  while (progress && !tape.empty()) {
+    progress = false;
+    for (const std::size_t len :
+         {tape.size() / 2, tape.size() - 1}) {
+      if (len >= tape.size()) continue;
+      std::vector<std::uint64_t> candidate(tape.begin(),
+                                           tape.begin() +
+                                               static_cast<std::ptrdiff_t>(len));
+      if (fails(candidate)) {
+        tape = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: per-element binary descent toward 0 (candidates v-v, v-v/2,
+  // v-v/4, ..., v-1), which converges to the least failing value of each
+  // draw in logarithmically many runs.
+  progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < tape.size(); ++i) {
+      const std::uint64_t v = tape[i];
+      for (std::uint64_t d = v; d > 0; d /= 2) {
+        std::vector<std::uint64_t> t = tape;
+        t[i] = v - d;
+        if (fails(t)) {
+          tape = std::move(t);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Trailing zeros replay identically to an absent suffix.
+  while (!tape.empty() && tape.back() == 0) tape.pop_back();
+  return tape;
+}
+
+inline std::uint64_t case_seed(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(seed ^ splitmix64(index));
+}
+
+}  // namespace detail
+
+/// Replays one recorded tape against a property. Returns the outcome as a
+/// Result so a scratch test can EXPECT_TRUE on it either way.
+inline Result check_tape(const std::string& name,
+                         const std::vector<std::uint64_t>& tape,
+                         const Property& prop) {
+  const detail::RunOutcome o = detail::run_tape(tape, prop);
+  if (!o.failed) return {};
+  return {false, "property '" + name + "' falsified by tape: " + o.error};
+}
+
+/// Runs `prop` over cfg.cases independently-seeded cases. Environment
+/// overrides: MOCA_PROPTEST_SEED replaces cfg.seed, MOCA_PROPTEST_CASE
+/// restricts the run to one case index (reproduction).
+inline Result check(const std::string& name, const Config& cfg,
+                    const Property& prop) {
+  std::uint64_t seed = cfg.seed;
+  if (const char* env = std::getenv("MOCA_PROPTEST_SEED")) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  std::uint64_t first = 0;
+  std::uint64_t last = cfg.cases;
+  if (const char* env = std::getenv("MOCA_PROPTEST_CASE")) {
+    first = std::strtoull(env, nullptr, 0);
+    last = first + 1;
+  }
+
+  for (std::uint64_t i = first; i < last; ++i) {
+    Gen gen{detail::case_seed(seed, i)};
+    const detail::RunOutcome o = detail::run(gen, prop);
+    if (!o.failed) continue;
+
+    std::string error = o.error;
+    const std::vector<std::uint64_t> shrunk =
+        detail::shrink(gen.tape(), prop, cfg.shrink_budget, error);
+
+    std::ostringstream msg;
+    msg << "property '" << name << "' falsified\n"
+        << "  seed: " << seed << "  case: " << i << " of " << cfg.cases
+        << "\n"
+        << "  error: " << error << "\n"
+        << "  shrunk tape (" << shrunk.size() << " draws): {";
+    for (std::size_t k = 0; k < shrunk.size(); ++k) {
+      if (k > 0) msg << ", ";
+      msg << shrunk[k] << "ull";
+    }
+    msg << "}\n"
+        << "  reproduce the original case: MOCA_PROPTEST_SEED=" << seed
+        << " MOCA_PROPTEST_CASE=" << i << " <test binary>\n"
+        << "  or replay the minimal case: moca::proptest::check_tape(\""
+        << name << "\", {<tape>}, prop)";
+    return {false, msg.str()};
+  }
+  return {};
+}
+
+}  // namespace moca::proptest
+
+/// Falsifies the enclosing property when `cond` is false.
+#define PROP_REQUIRE(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::moca::proptest::Falsified(                                \
+          std::string("PROP_REQUIRE failed: ") + #cond);                \
+    }                                                                   \
+  } while (0)
+
+/// Like PROP_REQUIRE with a streamed diagnostic:
+/// PROP_REQUIRE_MSG(a == b, "a=" << a << " b=" << b).
+#define PROP_REQUIRE_MSG(cond, stream_expr)                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream prop_require_os_;                              \
+      prop_require_os_ << "PROP_REQUIRE failed: " << #cond << " — "     \
+                       << stream_expr;                                  \
+      throw ::moca::proptest::Falsified(prop_require_os_.str());        \
+    }                                                                   \
+  } while (0)

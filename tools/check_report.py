@@ -54,7 +54,15 @@ def check_timeseries(ts):
                for p in paths):
         fail("per-module bandwidth column missing")
 
+    # Counter columns carry per-epoch deltas of monotonic counters; a
+    # negative delta means the underlying counter went backwards. Fault
+    # counters (faults/*) are the canary: a decrease there means the
+    # injector lost state mid-run.
+    counter_cols = [i for i, col in enumerate(cols)
+                    if col.get("kind") == "counter"]
+
     prev_instr = -1
+    prev_time = -1
     for i, row in enumerate(rows):
         if row.get("epoch") != i:
             fail(f"row {i} has epoch {row.get('epoch')}")
@@ -64,6 +72,14 @@ def check_timeseries(ts):
         if row["instructions"] <= prev_instr:
             fail(f"row {i} instructions not strictly increasing")
         prev_instr = row["instructions"]
+        if row.get("time_ps", 0) < prev_time:
+            fail(f"row {i} time_ps {row.get('time_ps')} moves backwards "
+                 f"from {prev_time}")
+        prev_time = row.get("time_ps", 0)
+        for c in counter_cols:
+            if row["values"][c] < 0:
+                fail(f"row {i}: counter {paths[c]} has negative delta "
+                     f"{row['values'][c]} (cumulative counter decreased)")
 
 
 def check_trace(path):

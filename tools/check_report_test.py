@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regression tests for check_report.py's hard-fail validation modes.
+
+Runs the checker as a subprocess against synthesized reports and asserts
+the exit status + diagnostic, locking in that a non-monotonic time-series
+tick and a decreasing faults/* counter are FAILures, not warnings.
+
+Usage: check_report_test.py path/to/check_report.py
+"""
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+
+CHECKER = sys.argv[1] if len(sys.argv) > 1 else "check_report.py"
+
+
+def base_report():
+    """A minimal report whose timeseries passes every check."""
+    columns = [
+        {"path": "core0/ipc", "kind": "ratio"},
+        {"path": "faults/frame_denials", "kind": "counter"},
+        {"path": "mem/RL/bandwidth_bytes_per_s", "kind": "rate"},
+        {"path": "os/page_faults", "kind": "counter"},
+    ]
+    rows = []
+    for i in range(4):
+        rows.append({
+            "epoch": i,
+            "time_ps": 1000 * (i + 1),
+            "instructions": 5000 * (i + 1),
+            "values": [0.7, 2.0, 1.5e9, 10.0],
+        })
+    return {
+        "schema_version": 3,
+        "timeseries": {
+            "epoch_instructions": 5000,
+            "warmup_end_ps": 0,
+            "columns": columns,
+            "rows": rows,
+        },
+    }
+
+
+def run_checker(report):
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump(report, f)
+        path = f.name
+    proc = subprocess.run(
+        [sys.executable, CHECKER, path, "--require-timeseries"],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(name, report, want_fail, want_text=None):
+    code, output = run_checker(report)
+    failed = code != 0
+    if failed != want_fail:
+        print(f"FAIL {name}: exit={code}, expected "
+              f"{'failure' if want_fail else 'success'}\n{output}")
+        sys.exit(1)
+    if want_text and want_text not in output:
+        print(f"FAIL {name}: diagnostic missing {want_text!r}\n{output}")
+        sys.exit(1)
+    print(f"ok {name}")
+
+
+def main():
+    expect("consistent report passes", base_report(), want_fail=False)
+
+    backwards_time = copy.deepcopy(base_report())
+    backwards_time["timeseries"]["rows"][2]["time_ps"] = 500  # < row 1
+    expect("non-monotonic time_ps fails", backwards_time,
+           want_fail=True, want_text="time_ps")
+
+    negative_faults = copy.deepcopy(base_report())
+    negative_faults["timeseries"]["rows"][1]["values"][1] = -1.0
+    expect("decreasing faults/* counter fails", negative_faults,
+           want_fail=True, want_text="faults/frame_denials")
+
+    # Negative deltas on any counter column fail, not just faults/*.
+    negative_counter = copy.deepcopy(base_report())
+    negative_counter["timeseries"]["rows"][3]["values"][3] = -5.0
+    expect("decreasing os counter fails", negative_counter,
+           want_fail=True, want_text="os/page_faults")
+
+    # Non-counter columns may go negative (deltas of ratios/rates are
+    # levels, not monotone counters).
+    negative_ratio = copy.deepcopy(base_report())
+    negative_ratio["timeseries"]["rows"][1]["values"][0] = -0.1
+    expect("negative ratio value still passes", negative_ratio,
+           want_fail=False)
+
+    print("check_report_test: all cases passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Enforces line-coverage floors from an llvm-cov JSON export.
+
+Input is the output of
+
+  llvm-cov export -summary-only -instr-profile=... <bin> [-object <bin>]...
+
+Each --prefix names a source subtree (repo-relative, e.g. src/moca) that
+must meet the --floor percentage of covered lines, aggregated across
+every file in the export whose path contains that subtree. Exits 1 with
+a per-file breakdown when a floor is missed, so CI logs show exactly
+where the uncovered lines live.
+
+  tools/coverage_guard.py coverage.json --floor 80 \
+      --prefix src/moca --prefix src/os
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"coverage_guard: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def matches(filename, prefix):
+    """True when `filename` lives under the repo subtree `prefix`.
+
+    llvm-cov emits absolute paths, so match on a path-separated
+    occurrence of the prefix rather than startswith.
+    """
+    norm = filename.replace("\\", "/")
+    pref = prefix.strip("/")
+    return norm.startswith(pref + "/") or f"/{pref}/" in norm
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("export_json",
+                        help="llvm-cov export -summary-only output")
+    parser.add_argument("--floor", type=float, default=80.0,
+                        help="minimum line coverage percent (default 80)")
+    parser.add_argument("--prefix", action="append", default=[],
+                        help="source subtree to enforce (repeatable)")
+    args = parser.parse_args()
+    if not args.prefix:
+        fail("no --prefix given; nothing to enforce")
+
+    with open(args.export_json) as f:
+        export = json.load(f)
+    if export.get("type") != "llvm.coverage.json.export":
+        fail(f"{args.export_json}: not an llvm-cov JSON export "
+             f"(type={export.get('type')!r})")
+    data = export.get("data") or []
+    if not data:
+        fail("export has no data records")
+    files = data[0].get("files") or []
+    if not files:
+        fail("export lists no files (did the profile merge pick "
+             "anything up?)")
+
+    failed = False
+    for prefix in args.prefix:
+        total = covered = 0
+        rows = []
+        for record in files:
+            name = record.get("filename", "")
+            if not matches(name, prefix):
+                continue
+            lines = record.get("summary", {}).get("lines", {})
+            count = int(lines.get("count", 0))
+            hit = int(lines.get("covered", 0))
+            total += count
+            covered += hit
+            rows.append((name, hit, count))
+        if total == 0:
+            fail(f"no files under {prefix!r} in the export "
+                 "(prefix typo, or the subtree was never linked in)")
+        pct = 100.0 * covered / total
+        status = "ok" if pct >= args.floor else "FAIL"
+        print(f"{status} {prefix}: {pct:.1f}% lines "
+              f"({covered}/{total}, floor {args.floor:.0f}%)")
+        if pct < args.floor:
+            failed = True
+            for name, hit, count in sorted(
+                    rows, key=lambda r: r[1] / r[2] if r[2] else 1.0):
+                fpct = 100.0 * hit / count if count else 100.0
+                print(f"    {fpct:5.1f}%  {name} ({hit}/{count})")
+    if failed:
+        fail("line coverage below floor")
+    print("coverage_guard: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Regression tests for coverage_guard.py against synthesized exports.
+
+The real llvm-cov toolchain only exists in CI's coverage job; this test
+locks the guard's aggregation, floor enforcement and error modes to a
+hand-built llvm.coverage.json.export document so guard regressions are
+caught by the ordinary ctest run.
+
+Usage: coverage_guard_test.py path/to/coverage_guard.py
+"""
+import json
+import subprocess
+import sys
+import tempfile
+
+GUARD = sys.argv[1] if len(sys.argv) > 1 else "coverage_guard.py"
+
+
+def export_doc(files):
+    return {
+        "type": "llvm.coverage.json.export",
+        "version": "2.0.1",
+        "data": [{"files": files, "totals": {}}],
+    }
+
+
+def record(filename, covered, count):
+    pct = 100.0 * covered / count if count else 100.0
+    return {"filename": filename,
+            "summary": {"lines": {"count": count, "covered": covered,
+                                  "percent": pct}}}
+
+
+def run_guard(doc, *extra):
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump(doc, f)
+        path = f.name
+    proc = subprocess.run([sys.executable, GUARD, path, *extra],
+                         capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(name, doc, extra, want_fail, want_text=None):
+    code, output = run_guard(doc, *extra)
+    if (code != 0) != want_fail:
+        print(f"FAIL {name}: exit={code}, expected "
+              f"{'failure' if want_fail else 'success'}\n{output}")
+        sys.exit(1)
+    if want_text and want_text not in output:
+        print(f"FAIL {name}: output missing {want_text!r}\n{output}")
+        sys.exit(1)
+    print(f"ok {name}")
+
+
+def main():
+    healthy = export_doc([
+        record("/ci/repo/src/moca/classifier.cc", 90, 100),
+        record("/ci/repo/src/moca/allocator.cc", 85, 100),
+        record("/ci/repo/src/os/os.cc", 82, 100),
+        record("/ci/repo/src/dram/controller.cc", 10, 100),  # not enforced
+    ])
+    expect("healthy subtrees pass", healthy,
+           ["--floor", "80", "--prefix", "src/moca", "--prefix", "src/os"],
+           want_fail=False)
+
+    # Aggregation is per-subtree: one well-covered file must not hide a
+    # cold one when the subtree average dips below the floor.
+    cold_file = export_doc([
+        record("/ci/repo/src/moca/classifier.cc", 100, 100),
+        record("/ci/repo/src/moca/allocator.cc", 20, 100),
+    ])
+    expect("cold file drags subtree under floor", cold_file,
+           ["--floor", "80", "--prefix", "src/moca"],
+           want_fail=True, want_text="allocator.cc")
+
+    expect("missing subtree is an error", healthy,
+           ["--floor", "80", "--prefix", "src/typo"],
+           want_fail=True, want_text="src/typo")
+
+    expect("wrong document type is an error",
+           {"type": "something-else", "data": []},
+           ["--floor", "80", "--prefix", "src/moca"],
+           want_fail=True, want_text="llvm-cov")
+
+    # Floor is inclusive: exactly 80.0% passes an 80% floor.
+    exact = export_doc([record("/ci/repo/src/moca/classifier.cc", 80, 100)])
+    expect("exact floor passes", exact,
+           ["--floor", "80", "--prefix", "src/moca"], want_fail=False)
+
+    print("coverage_guard_test: all cases passed")
+
+
+if __name__ == "__main__":
+    main()
