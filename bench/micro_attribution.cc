@@ -1,0 +1,113 @@
+// Fast-path microbench: per-access object attribution (PR 6 tentpole).
+//
+// ObjectRegistry::find runs on every LLC miss (and every head-of-ROB stall
+// sample), mapping an address to the live object covering it. The fast path
+// is a per-process last-hit memo backed by a direct-mapped page->id cache;
+// the std::map interval index is only the cold fallback. These benches time
+// each tier:
+//
+//   BM_AttributionMemoHit      — same object as the previous access
+//   BM_AttributionPageCacheHit — memo defeated, page cache resolves it
+//   BM_AttributionColdFind     — sub-page objects: interval-index walk
+//   BM_AttributionFastPath     — headline: streaming mix across objects
+//
+// All report items_per_second; tools/bench_hotpath.sh records the headline
+// numbers as micro_attribution_* and tools/perf_guard.py gates them in CI.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "moca/object_registry.h"
+#include "os/types.h"
+
+namespace {
+
+using namespace moca;
+
+/// Accesses stream through one object — the overwhelmingly common pattern
+/// (a sweep over one array) — so every find() after the first is a memo hit.
+void BM_AttributionMemoHit(benchmark::State& state) {
+  core::ObjectRegistry registry;
+  const os::VirtAddr base = os::kHeapBwBase;
+  registry.add(1, 0, base, 1 * MiB, os::MemClass::kBandwidth, "stream");
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.find(0, base + off));
+    off = (off + 64) & (1 * MiB - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttributionMemoHit);
+
+/// Alternating between many page-sized objects defeats the last-hit memo on
+/// every access; the direct-mapped page cache serves each one O(1).
+void BM_AttributionPageCacheHit(benchmark::State& state) {
+  core::ObjectRegistry registry;
+  constexpr std::uint64_t kObjects = 64;
+  const os::VirtAddr base = os::kHeapLatBase;
+  for (std::uint64_t i = 0; i < kObjects; ++i) {
+    registry.add(1 + i, 0, base + i * kPageBytes, kPageBytes,
+                 os::MemClass::kLatency, "page" + std::to_string(i));
+  }
+  // Warm the cache, then measure steady-state hits.
+  for (std::uint64_t i = 0; i < kObjects; ++i) {
+    benchmark::DoNotOptimize(registry.find(0, base + i * kPageBytes));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.find(0, base + (i % kObjects) * kPageBytes + 8));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttributionPageCacheHit);
+
+/// Sub-page objects share pages, so neither cache tier may serve them when
+/// accesses alternate: this is the cold interval-index (std::map) path.
+void BM_AttributionColdFind(benchmark::State& state) {
+  core::ObjectRegistry registry;
+  constexpr std::uint64_t kObjects = 64;
+  const os::VirtAddr base = os::kHeapPowBase;
+  for (std::uint64_t i = 0; i < kObjects; ++i) {
+    registry.add(1 + i, 0, base + i * 64, 64, os::MemClass::kNonIntensive,
+                 "tiny" + std::to_string(i));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.find(0, base + (i % kObjects) * 64));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttributionColdFind);
+
+/// Headline: a realistic attribution stream — long runs within one large
+/// object (memo hits) punctuated by hops to other arrays (page-cache hits),
+/// matching how fig08/09 apps touch their few large heap objects.
+void BM_AttributionFastPath(benchmark::State& state) {
+  core::ObjectRegistry registry;
+  constexpr std::uint64_t kArrays = 8;
+  constexpr std::uint64_t kArrayBytes = 4 * MiB;
+  const os::VirtAddr base = os::kHeapBwBase;
+  for (std::uint64_t i = 0; i < kArrays; ++i) {
+    registry.add(1 + i, 0, base + i * kArrayBytes, kArrayBytes,
+                 os::MemClass::kBandwidth, "arr" + std::to_string(i));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // 16 consecutive lines in one array, then the next array.
+    const std::uint64_t arr = (i >> 4) % kArrays;
+    const std::uint64_t off = (i * 64) & (kArrayBytes - 1);
+    benchmark::DoNotOptimize(registry.find(0, base + arr * kArrayBytes + off));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttributionFastPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,6 +5,8 @@
 // installed vs detached.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "moca/allocator.h"
 #include "moca/policies.h"
 #include "moca/profiler.h"
@@ -61,48 +63,99 @@ void BM_BareBumpAlloc(benchmark::State& state) {
 }
 BENCHMARK(BM_BareBumpAlloc);
 
-/// Full-system run with and without the profiling hooks installed. The
-/// paper measures 0.59% average slowdown with profiling on (Sec. IV-E);
-/// compare the two timings below for our equivalent.
-void run_once(bool with_profiling, benchmark::State& state,
-              std::uint64_t epoch_instructions = 0) {
+/// One full-system simulation (the Sec. IV-E overhead workload).
+void run_system(bool with_profiling, std::uint64_t epoch_instructions = 0) {
+  sim::SystemOptions options;
+  options.instructions_per_core = 60'000;
+  options.enable_profiling = with_profiling;
+  options.observability.epoch_instructions = epoch_instructions;
+  sim::AppInstance inst;
+  inst.spec = workload::app_by_name("milc");
+  inst.seed = 99;
+  std::vector<sim::AppInstance> apps;
+  apps.push_back(std::move(inst));
+  sim::System system(
+      sim::homogeneous(dram::MemKind::kDdr3),
+      std::make_unique<core::HomogeneousPolicy>(dram::MemKind::kDdr3),
+      std::move(apps), options);
+  benchmark::DoNotOptimize(system.run());
+}
+
+/// Full-system run with and without the profiling hooks installed,
+/// measured as a *pair* inside one benchmark. The paper reports a 0.59%
+/// average slowdown (Sec. IV-E); a true overhead that small is far below
+/// host scheduling noise when the two sides run as separately-timed
+/// benchmarks seconds apart, which regularly inverted the reading
+/// (profiling "faster" than no-profiling). Each iteration runs the two
+/// configurations back to back in an A/B/B/A order — linear drift (cpufreq
+/// ramps, a neighbour starting up) cancels within the iteration — and the
+/// per-side times accumulate into the reported instr/s counters.
+void BM_SimulationOverheadPaired(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  double noprof_s = 0.0;
+  double prof_s = 0.0;
   for (auto _ : state) {
-    sim::SystemOptions options;
-    options.instructions_per_core = 60'000;
-    options.enable_profiling = with_profiling;
-    options.observability.epoch_instructions = epoch_instructions;
-    sim::AppInstance inst;
-    inst.spec = workload::app_by_name("milc");
-    inst.seed = 99;
-    std::vector<sim::AppInstance> apps;
-    apps.push_back(std::move(inst));
-    sim::System system(
-        sim::homogeneous(dram::MemKind::kDdr3),
-        std::make_unique<core::HomogeneousPolicy>(dram::MemKind::kDdr3),
-        std::move(apps), options);
-    benchmark::DoNotOptimize(system.run());
+    const clock::time_point t0 = clock::now();
+    run_system(/*with_profiling=*/false);
+    const clock::time_point t1 = clock::now();
+    run_system(/*with_profiling=*/true);
+    run_system(/*with_profiling=*/true);
+    const clock::time_point t2 = clock::now();
+    run_system(/*with_profiling=*/false);
+    const clock::time_point t3 = clock::now();
+    noprof_s += std::chrono::duration<double>(t1 - t0).count() +
+                std::chrono::duration<double>(t3 - t2).count();
+    prof_s += std::chrono::duration<double>(t2 - t1).count();
+    state.SetIterationTime(std::chrono::duration<double>(t3 - t0).count());
   }
+  const double sims_per_side = 2.0 * static_cast<double>(state.iterations());
+  state.counters["noprofiling_instr_per_s"] =
+      benchmark::Counter(60'000.0 * sims_per_side / noprof_s);
+  state.counters["profiling_instr_per_s"] =
+      benchmark::Counter(60'000.0 * sims_per_side / prof_s);
 }
-
-void BM_SimulationWithProfiling(benchmark::State& state) {
-  run_once(true, state);
-}
-BENCHMARK(BM_SimulationWithProfiling)->Unit(benchmark::kMillisecond);
-
-void BM_SimulationWithoutProfiling(benchmark::State& state) {
-  run_once(false, state);
-}
-BENCHMARK(BM_SimulationWithoutProfiling)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulationOverheadPaired)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
 
 /// Same run with the epoch stat sampler on (10K-instruction epochs): the
 /// probe reads at each snapshot should stay within noise of the
 /// no-profiling baseline, the pay-for-what-you-use contract of
 /// common/stat_registry.h.
 void BM_SimulationWithEpochSampling(benchmark::State& state) {
-  run_once(false, state, /*epoch_instructions=*/10'000);
+  for (auto _ : state) {
+    run_system(/*with_profiling=*/false, /*epoch_instructions=*/10'000);
+  }
 }
 BENCHMARK(BM_SimulationWithEpochSampling)->Unit(benchmark::kMillisecond);
 
+/// One untimed full simulation so process-lifetime warmup (heap arena
+/// growth, first-touch faults, workload table initialisation) is paid
+/// before any timed run — a precondition for the overhead comparison
+/// (no-profiling >= profiling throughput) to hold by construction.
+void warmup() {
+  sim::SystemOptions options;
+  options.instructions_per_core = 60'000;
+  options.enable_profiling = false;
+  sim::AppInstance inst;
+  inst.spec = workload::app_by_name("milc");
+  inst.seed = 99;
+  std::vector<sim::AppInstance> apps;
+  apps.push_back(std::move(inst));
+  sim::System system(
+      sim::homogeneous(dram::MemKind::kDdr3),
+      std::make_unique<core::HomogeneousPolicy>(dram::MemKind::kDdr3),
+      std::move(apps), options);
+  benchmark::DoNotOptimize(system.run());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  warmup();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

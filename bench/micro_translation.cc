@@ -1,0 +1,123 @@
+// Fast-path microbench: address translation (PR 6 tentpole).
+//
+// Core::translate runs once per memory micro-op, so the TLB probe and —
+// on a TLB miss — the page-table walk dominate the simulator's per-access
+// cost. These benches time the three layers in isolation plus the fused
+// translate sequence the core actually executes:
+//
+//   BM_TlbLookupHit        — hash probe + intrusive-LRU touch (steady state)
+//   BM_TlbMissInsert       — miss memo + folded single-probe insert + evict
+//   BM_PageTableLookup     — radix decode + two array indexes
+//   BM_TranslationFastPath — headline: lookup-hit mix over a page working
+//                            set sized like the fig08/09 apps
+//
+// All report items_per_second; tools/bench_hotpath.sh records the headline
+// numbers as micro_translation_* and tools/perf_guard.py gates them in CI.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "os/page_table.h"
+#include "os/types.h"
+
+namespace {
+
+using namespace moca;
+
+/// Steady-state hits: a working set that fits the TLB, probed round-robin.
+void BM_TlbLookupHit(benchmark::State& state) {
+  constexpr std::uint32_t kEntries = 64;
+  os::Tlb tlb(kEntries);
+  const os::Vpn heap_vpn = os::kHeapLatBase >> kPageShift;
+  for (os::Vpn v = 0; v < kEntries; ++v) {
+    tlb.insert(0, heap_vpn + v, 1000 + v);
+  }
+  os::Vpn v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(0, heap_vpn + v));
+    v = (v + 1) % kEntries;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+/// Streaming misses: every lookup misses, and the insert that follows
+/// consumes the miss memo (no second probe) and evicts the LRU tail.
+void BM_TlbMissInsert(benchmark::State& state) {
+  constexpr std::uint32_t kEntries = 64;
+  os::Tlb tlb(kEntries);
+  const os::Vpn heap_vpn = os::kHeapBwBase >> kPageShift;
+  os::Vpn v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(0, heap_vpn + v));
+    tlb.insert(0, heap_vpn + v, v);
+    ++v;  // never repeats: miss + insert + (after warmup) eviction
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbMissInsert);
+
+/// Radix walk over a realistically sized mapping (code + data + one heap
+/// partition + stack), probed round-robin across segments so the region
+/// decode branch pattern is not trivially predictable.
+void BM_PageTableLookup(benchmark::State& state) {
+  os::PageTable table;
+  constexpr std::uint64_t kPagesPerSegment = 512;
+  const os::Vpn bases[4] = {
+      os::kCodeBase >> kPageShift,
+      os::kDataBase >> kPageShift,
+      os::kHeapLatBase >> kPageShift,
+      os::kStackBase >> kPageShift,
+  };
+  os::Pfn pfn = 0;
+  for (const os::Vpn base : bases) {
+    for (std::uint64_t p = 0; p < kPagesPerSegment; ++p) {
+      table.map(base + p, pfn++);
+    }
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const os::Vpn vpn = bases[i & 3] + ((i >> 2) % kPagesPerSegment);
+    benchmark::DoNotOptimize(table.lookup(vpn));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PageTableLookup);
+
+/// Headline: the translate sequence Core::translate runs per access, over a
+/// working set larger than the TLB so the bench exercises the realistic mix
+/// of hits with occasional miss -> walk -> fill (~3% miss rate here, in the
+/// same regime as the fig08/09 apps).
+void BM_TranslationFastPath(benchmark::State& state) {
+  constexpr std::uint32_t kTlbEntries = 64;
+  constexpr std::uint64_t kPages = 2048;  // 8 MiB working set
+  os::Tlb tlb(kTlbEntries);
+  os::PageTable table;
+  const os::Vpn heap_vpn = os::kHeapLatBase >> kPageShift;
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    table.map(heap_vpn + p, p);
+  }
+  // Sliding 32-page window, advanced every 1024 accesses: ~3% of lookups
+  // miss (-> radix walk -> insert), the rest hit — the regime the fig08/09
+  // apps run in.
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t window = (i >> 10) * 32;
+    const os::Vpn vpn = heap_vpn + ((window + (i & 31)) & (kPages - 1));
+    auto pfn = tlb.lookup(0, vpn);
+    if (!pfn) {
+      pfn = table.lookup(vpn);
+      tlb.insert(0, vpn, *pfn);
+    }
+    benchmark::DoNotOptimize(*pfn);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TranslationFastPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

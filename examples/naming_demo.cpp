@@ -57,7 +57,8 @@ int main() {
 
   const core::ObjectInstance* hit = registry.find(0, string_base + 5);
   std::cout << "LUT lookup of (string_base+5): "
-            << (hit != nullptr ? hit->label : "<none>") << '\n';
+            << (hit != nullptr ? registry.label_of(hit->id) : "<none>")
+            << '\n';
   std::cout << "LUT lookup past the object:    "
             << (registry.find(0, string_base + 64) != nullptr ? "<object>"
                                                               : "<none>")

@@ -34,7 +34,7 @@ MemHierarchy::MemHierarchy(const CacheConfig& l1_config,
 IssueResult MemHierarchy::issue_load(std::uint64_t paddr,
                                      const AccessContext& ctx,
                                      LoadCallback cb) {
-  MOCA_CHECK(cb != nullptr);
+  MOCA_CHECK(cb);
   const std::uint64_t line = line_of(paddr);
 
   // Merge into a pending L1 miss before anything else: it costs no MSHR.
@@ -65,10 +65,14 @@ IssueResult MemHierarchy::issue_load(std::uint64_t paddr,
 
   L1Entry& entry = l1_mshr_.acquire(line);
   entry.waiters.push_back(std::move(cb));
-  const L2Route route =
-      route_to_l2(line, ctx,
-                  [this, line](TimePs when) { finish_l1_fill(line, when); },
-                  /*dirty_fill=*/false);
+  const L2Route route = route_to_l2(
+      line, ctx,
+      L2Action(
+          [](void* h, std::uint64_t l, TimePs when) {
+            static_cast<MemHierarchy*>(h)->finish_l1_fill(l, when);
+          },
+          this, line),
+      /*dirty_fill=*/false);
   // route_to_l2 never touches the L1 book and fills only run via the event
   // queue, so the acquired slot reference is still valid here.
   if (route == L2Route::kMiss) {

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.h"
@@ -45,6 +47,92 @@ struct AccessContext {
   /// header free of OS dependencies); used for Fig. 16 attribution.
   std::uint8_t segment = 0;
   bool is_load = true;
+};
+
+/// Completion callback with a flat fast path (PR 6). Every per-access
+/// callback the simulator installs is a (function pointer, object pointer,
+/// 64-bit payload) triple — `complete(seq)` on a core, `finish_l1_fill(line)`
+/// on a hierarchy — so storing the triple directly avoids the indirect
+/// manager calls std::function pays on every construct, move and destroy.
+/// Arbitrary callables (tests, benches) still convert implicitly and run
+/// through a heap thunk; that path never executes per simulated access.
+class CompletionFn {
+ public:
+  using RawFn = void (*)(void* obj, std::uint64_t arg, TimePs when);
+
+  CompletionFn() = default;
+  CompletionFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  CompletionFn(RawFn fn, void* obj, std::uint64_t arg)
+      : fn_(fn), obj_(obj), arg_(arg) {}
+
+  /// Generic callables: erased behind a heap thunk. Intentionally implicit
+  /// so `issue_load(addr, ctx, [&](TimePs t) { ... })` keeps working.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, CompletionFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_v<std::decay_t<F>&, TimePs>>>
+  CompletionFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (std::is_empty_v<D> && std::is_trivially_destructible_v<D> &&
+                  std::is_default_constructible_v<D>) {
+      fn_ = &stateless_thunk<D>;  // captureless lambdas: no heap
+    } else {
+      fn_ = &invoke_thunk<D>;
+      obj_ = new D(std::forward<F>(f));
+      del_ = &delete_thunk<D>;
+    }
+  }
+
+  CompletionFn(CompletionFn&& o) noexcept
+      : fn_(o.fn_), obj_(o.obj_), arg_(o.arg_), del_(o.del_) {
+    o.fn_ = nullptr;
+    o.obj_ = nullptr;
+    o.del_ = nullptr;
+  }
+  CompletionFn& operator=(CompletionFn&& o) noexcept {
+    if (this != &o) {
+      if (del_ != nullptr) del_(obj_);
+      fn_ = o.fn_;
+      obj_ = o.obj_;
+      arg_ = o.arg_;
+      del_ = o.del_;
+      o.fn_ = nullptr;
+      o.obj_ = nullptr;
+      o.del_ = nullptr;
+    }
+    return *this;
+  }
+  CompletionFn(const CompletionFn&) = delete;
+  CompletionFn& operator=(const CompletionFn&) = delete;
+  ~CompletionFn() {
+    if (del_ != nullptr) del_(obj_);
+  }
+
+  explicit operator bool() const { return fn_ != nullptr; }
+  void operator()(TimePs when) const { fn_(obj_, arg_, when); }
+
+ private:
+  template <typename F>
+  static void invoke_thunk(void* obj, std::uint64_t /*arg*/, TimePs when) {
+    (*static_cast<F*>(obj))(when);
+  }
+  template <typename F>
+  static void stateless_thunk(void* /*obj*/, std::uint64_t /*arg*/,
+                              TimePs when) {
+    F{}(when);
+  }
+  template <typename F>
+  static void delete_thunk(void* obj) {
+    delete static_cast<F*>(obj);
+  }
+
+  RawFn fn_ = nullptr;
+  void* obj_ = nullptr;
+  std::uint64_t arg_ = 0;
+  // Deleter for the heap-thunk path; nullptr for the flat path, so the
+  // per-access destructor is one never-taken branch.
+  void (*del_)(void*) = nullptr;
 };
 
 /// Synchronous outcome of issuing a load.
@@ -95,6 +183,7 @@ class MshrBook {
   explicit MshrBook(std::size_t capacity) : slots_(capacity) {}
 
   [[nodiscard]] Entry* find(std::uint64_t line) {
+    if (size_ == 0) return nullptr;  // every load probes; skip empty books
     for (Slot& s : slots_) {
       if (s.used && s.line == line) return &s.entry;
     }
@@ -152,7 +241,7 @@ class MemHierarchy {
   /// `on_complete` may be empty for writebacks.
   using Backend = std::function<void(std::uint64_t paddr, bool is_write,
                                      std::function<void(TimePs)> on_complete)>;
-  using LoadCallback = std::function<void(TimePs done)>;
+  using LoadCallback = CompletionFn;
   using MissObserver = std::function<void(const AccessContext&)>;
 
   MemHierarchy(const CacheConfig& l1_config, const CacheConfig& l2_config,
@@ -203,7 +292,7 @@ class MemHierarchy {
 
  private:
   /// Runs when the line is available at L2 level (fill done or L2 hit).
-  using L2Action = std::function<void(TimePs when)>;
+  using L2Action = CompletionFn;
 
   // One waiter/action is the overwhelmingly common case (two with a merge);
   // the inline capacity keeps MSHR traffic allocation-free.

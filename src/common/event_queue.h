@@ -351,7 +351,9 @@ class EventQueue {
     batch_.clear();
     batch_.swap(level0_[idx]);
     clear_bit(occ0_, idx);
-    std::sort(batch_.begin(), batch_.end(), event_less);
+    // Most slots hold a single event; sorting one element is a no-op but
+    // still pays two libstdc++ calls per slot.
+    if (batch_.size() > 1) std::sort(batch_.begin(), batch_.end(), event_less);
 
     active_slot0_ = s0;
     active_batch_ = &batch_;

@@ -116,7 +116,10 @@ void Core::do_commit() {
     if (!head.done) {
       if (head.op.kind == OpKind::kLoad && head.issued && head.llc_miss) {
         ++stats_.rob_head_stall_cycles;
-        if (stall_observer_) stall_observer_(head.op.object);
+        if (stall_observer_ != nullptr) {
+          stall_observer_(stall_observer_ctx_, stall_observer_arg_,
+                          head.op.object);
+        }
       }
       return;
     }
@@ -142,7 +145,7 @@ void Core::retire_store(Entry& entry) {
   ctx.process = pid_;
   ctx.object = entry.op.object;
   ctx.vaddr = entry.op.vaddr;
-  ctx.segment = static_cast<std::uint8_t>(os::segment_of(entry.op.vaddr));
+  ctx.segment = entry.segment;
   ctx.is_load = false;
   hierarchy_.issue_store(paddr, ctx);
 }
@@ -249,11 +252,16 @@ bool Core::issue_load(Entry& entry) {
   ctx.process = pid_;
   ctx.object = entry.op.object;
   ctx.vaddr = entry.op.vaddr;
-  ctx.segment = static_cast<std::uint8_t>(os::segment_of(entry.op.vaddr));
+  ctx.segment = entry.segment;
   ctx.is_load = true;
   const std::uint64_t seq = entry.seq;
   const cache::IssueResult result = hierarchy_.issue_load(
-      entry.paddr, ctx, [this, seq](TimePs) { complete(seq); });
+      entry.paddr, ctx,
+      cache::CompletionFn(
+          [](void* core, std::uint64_t s, TimePs) {
+            static_cast<Core*>(core)->complete(s);
+          },
+          this, seq));
   if (result == cache::IssueResult::kNoMshr) return false;
 
   entry.issued = true;
@@ -295,6 +303,9 @@ void Core::do_dispatch() {
     e.deps_remaining = 0;
     fetched_valid_ = false;
 
+    if (e.op.kind != OpKind::kAlu) {
+      e.segment = static_cast<std::uint8_t>(os::segment_of(e.op.vaddr));
+    }
     if (e.op.kind == OpKind::kLoad) {
       ++lq_used_;
       ++stats_.loads;

@@ -79,8 +79,12 @@ struct CoreStats {
 class Core {
  public:
   /// Fired once per cycle the ROB head stalls on an LLC-missing load, with
-  /// that load's object tag (profiler hook).
-  using StallObserver = std::function<void(std::uint64_t object)>;
+  /// that load's object tag (profiler hook). Flat (function pointer,
+  /// context, payload) form: this fires millions of times per run, and the
+  /// observers are all `method(fixed_arg, object)` calls, so the extra
+  /// dispatch hop and construction cost of std::function buys nothing.
+  using StallObserver = void (*)(void* ctx, std::uint64_t arg,
+                                 std::uint64_t object);
 
   Core(std::uint32_t core_id, const CoreParams& params, OpStream& stream,
        cache::MemHierarchy& hierarchy, os::Os& os, os::ProcessId pid,
@@ -97,8 +101,11 @@ class Core {
   /// this cycle's timestamp first.
   void step();
 
-  void set_stall_observer(StallObserver observer) {
-    stall_observer_ = std::move(observer);
+  void set_stall_observer(StallObserver observer, void* ctx,
+                          std::uint64_t arg) {
+    stall_observer_ = observer;
+    stall_observer_ctx_ = ctx;
+    stall_observer_arg_ = arg;
   }
 
   /// TLB shootdown (page migration). In-flight loads keep their already-
@@ -132,6 +139,10 @@ class Core {
     bool translated = false;
     bool llc_miss = false;
     std::uint8_t deps_remaining = 0;
+    // Segment decode (os::segment_of) done once at dispatch; reused by
+    // every issue attempt and by store retirement instead of re-resolving
+    // per attempt (deferred loads can retry for many cycles).
+    std::uint8_t segment = 0;
     // Consumer seq numbers; ops rarely feed more than a few in-window
     // consumers, so the inline capacity makes dispatch allocation-free.
     SmallVec<std::uint64_t, 4> dependents;
@@ -216,7 +227,9 @@ class Core {
   bool fetched_valid_ = false;
   std::uint64_t budget_ = 0;
   Cycle finish_cycle_ = 0;
-  StallObserver stall_observer_;
+  StallObserver stall_observer_ = nullptr;
+  void* stall_observer_ctx_ = nullptr;
+  std::uint64_t stall_observer_arg_ = 0;
   CoreStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "moca/object_registry.h"
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace moca::core {
 
@@ -12,15 +13,14 @@ std::uint64_t ObjectRegistry::add(ObjectName name, os::ProcessId pid,
   const std::uint64_t id = instances_.size();
   ObjectInstance inst;
   inst.id = id;
-  inst.name = name;
   inst.pid = pid;
   inst.base = base;
   inst.bytes = bytes;
   inst.placed_class = placed_class;
-  inst.label = std::move(label);
-  instances_.push_back(std::move(inst));
+  instances_.push_back(inst);
+  meta_.push_back(InstanceMeta{name, std::move(label)});
   if (by_process_.size() <= pid) by_process_.resize(pid + 1);
-  auto& index = by_process_[pid];
+  auto& index = by_process_[pid].by_base;
   const auto [it, inserted] = index.emplace(base, id);
   (void)it;
   MOCA_CHECK_MSG(inserted, "overlapping object registration");
@@ -32,27 +32,79 @@ const ObjectInstance& ObjectRegistry::instance(std::uint64_t id) const {
   return instances_[id];
 }
 
+ObjectName ObjectRegistry::name_of(std::uint64_t id) const {
+  MOCA_CHECK(id < meta_.size());
+  return meta_[id].name;
+}
+
+const std::string& ObjectRegistry::label_of(std::uint64_t id) const {
+  MOCA_CHECK(id < meta_.size());
+  return meta_[id].label;
+}
+
 void ObjectRegistry::remove(std::uint64_t id) {
   MOCA_CHECK(id < instances_.size());
   ObjectInstance& inst = instances_[id];
   MOCA_CHECK_MSG(inst.live, "double free of object instance " << id);
   inst.live = false;
-  auto& index = by_process_[inst.pid];
-  const auto it = index.find(inst.base);
-  MOCA_CHECK(it != index.end() && it->second == id);
-  index.erase(it);
+  ProcessIndex& proc = by_process_[inst.pid];
+  const auto it = proc.by_base.find(inst.base);
+  MOCA_CHECK(it != proc.by_base.end() && it->second == id);
+  proc.by_base.erase(it);
+  // O(1) invalidation: stale memo/page-cache entries carry the old
+  // generation and stop matching.
+  ++proc.generation;
+}
+
+const ObjectInstance* ObjectRegistry::find_slow(const ProcessIndex& proc,
+                                                os::VirtAddr addr) const {
+  auto it = proc.by_base.upper_bound(addr);
+  if (it == proc.by_base.begin()) return nullptr;
+  --it;
+  const ObjectInstance& inst = instances_[it->second];
+  if (addr >= inst.base && addr < inst.base + inst.bytes) return &inst;
+  return nullptr;
 }
 
 const ObjectInstance* ObjectRegistry::find(os::ProcessId pid,
                                            os::VirtAddr addr) const {
   if (pid >= by_process_.size()) return nullptr;
-  const auto& index = by_process_[pid];
-  auto it = index.upper_bound(addr);
-  if (it == index.begin()) return nullptr;
-  --it;
-  const ObjectInstance& inst = instances_[it->second];
-  if (addr >= inst.base && addr < inst.base + inst.bytes) return &inst;
-  return nullptr;
+  const ProcessIndex& proc = by_process_[pid];
+
+  // 1. Last-hit memo: accesses stream through one object at a time.
+  if (proc.last_hit_generation == proc.generation && proc.last_hit != kNoId) {
+    const ObjectInstance& inst = instances_[proc.last_hit];
+    if (addr >= inst.base && addr - inst.base < inst.bytes) return &inst;
+  }
+
+  // 2. Page cache: direct-mapped vpn -> id, holding only pages an object
+  // covers entirely (sub-page objects can share a page, so those always
+  // take the interval index).
+  const os::Vpn vpn = addr >> kPageShift;
+  const std::size_t slot =
+      static_cast<std::size_t>(splitmix64(vpn)) & (kPageCacheSlots - 1);
+  if (!proc.page_cache.empty()) {
+    const PageCacheSlot& cached = proc.page_cache[slot];
+    if (cached.generation == proc.generation && cached.vpn == vpn) {
+      const ObjectInstance& inst = instances_[cached.id];
+      proc.last_hit = cached.id;
+      proc.last_hit_generation = proc.generation;
+      return &inst;
+    }
+  }
+
+  // 3. Ground truth.
+  const ObjectInstance* inst = find_slow(proc, addr);
+  if (inst == nullptr) return nullptr;
+  proc.last_hit = inst->id;
+  proc.last_hit_generation = proc.generation;
+  const os::VirtAddr page_base = vpn << kPageShift;
+  if (inst->base <= page_base &&
+      inst->base + inst->bytes >= page_base + kPageBytes) {
+    if (proc.page_cache.empty()) proc.page_cache.resize(kPageCacheSlots);
+    proc.page_cache[slot] = PageCacheSlot{vpn, inst->id, proc.generation};
+  }
+  return inst;
 }
 
 std::vector<os::ObjectRange> ObjectRegistry::live_ranges() const {

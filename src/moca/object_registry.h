@@ -4,6 +4,14 @@
 // with a dense runtime id (fast per-access attribution) and its stable
 // ObjectName (profile identity across runs). Address-range lookup mirrors
 // the paper's mechanism of identifying the accessed object by address.
+//
+// find() is on the per-access attribution path, so the std::map interval
+// index is only the ground truth: the common case is served O(1) by a
+// per-process last-hit memo (accesses stream through one object) backed by
+// a direct-mapped page->id cache for page-sized-or-larger objects. Both are
+// invalidated in O(1) by a per-process generation bump on remove(). Cold
+// per-instance fields (label, stable name) live in a parallel array so the
+// hot ObjectInstance records stay compact.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,7 @@
 #include <vector>
 
 #include "common/stat_registry.h"
+#include "common/units.h"
 #include "moca/naming.h"
 #include "os/auditor.h"
 #include "os/types.h"
@@ -20,16 +29,14 @@ namespace moca::core {
 
 struct ObjectInstance {
   std::uint64_t id = 0;
-  ObjectName name = 0;
-  os::ProcessId pid = 0;
   os::VirtAddr base = 0;
   std::uint64_t bytes = 0;
+  os::ProcessId pid = 0;
   os::MemClass placed_class = os::MemClass::kNonIntensive;
   /// False once freed. Dead instances keep their record (profiles merge
   /// statistics of every instance a name ever had, Sec. IV-A) but no
   /// longer resolve in address lookups.
   bool live = true;
-  std::string label;  // human-readable site label (debug/reporting only)
 };
 
 class ObjectRegistry {
@@ -44,6 +51,11 @@ class ObjectRegistry {
   [[nodiscard]] const std::vector<ObjectInstance>& all() const {
     return instances_;
   }
+
+  /// Stable profile identity of an instance (cold side of the LUT).
+  [[nodiscard]] ObjectName name_of(std::uint64_t id) const;
+  /// Human-readable site label (debug/reporting only).
+  [[nodiscard]] const std::string& label_of(std::uint64_t id) const;
 
   /// Finds the live instance covering `addr` in process `pid`, or nullptr.
   [[nodiscard]] const ObjectInstance* find(os::ProcessId pid,
@@ -64,10 +76,39 @@ class ObjectRegistry {
                       const std::string& prefix) const;
 
  private:
+  static constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+  static constexpr std::size_t kPageCacheSlots = 1024;  // direct-mapped
+
+  /// Cold per-instance fields, parallel to instances_.
+  struct InstanceMeta {
+    ObjectName name = 0;
+    std::string label;
+  };
+
+  struct PageCacheSlot {
+    os::Vpn vpn = 0;
+    std::uint64_t id = kNoId;
+    std::uint64_t generation = 0;  // valid iff == owning process generation
+  };
+
+  struct ProcessIndex {
+    /// Interval index, ground truth: base -> id (ranges never overlap
+    /// because the heap partitions are bump-allocated).
+    std::map<os::VirtAddr, std::uint64_t> by_base;
+    /// remove() bumps this, invalidating memo + page cache in O(1).
+    std::uint64_t generation = 1;
+    // Attribution fast path (logically const: caches over by_base).
+    mutable std::uint64_t last_hit = kNoId;
+    mutable std::uint64_t last_hit_generation = 0;
+    mutable std::vector<PageCacheSlot> page_cache;
+  };
+
+  [[nodiscard]] const ObjectInstance* find_slow(const ProcessIndex& proc,
+                                                os::VirtAddr addr) const;
+
   std::vector<ObjectInstance> instances_;
-  /// Per-process interval index: base -> id (ranges never overlap because
-  /// the heap partitions are bump-allocated).
-  std::vector<std::map<os::VirtAddr, std::uint64_t>> by_process_;
+  std::vector<InstanceMeta> meta_;  // parallel to instances_
+  std::vector<ProcessIndex> by_process_;
 };
 
 }  // namespace moca::core

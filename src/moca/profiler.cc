@@ -63,9 +63,10 @@ AppProfile Profiler::finalize(const std::string& app_name, os::ProcessId pid,
 
   for (const ObjectInstance& inst : registry_.all()) {
     if (inst.pid != pid) continue;
-    ObjectProfile& obj = profile.objects[inst.name];
-    obj.name = inst.name;
-    if (obj.label.empty()) obj.label = inst.label;
+    const ObjectName name = registry_.name_of(inst.id);
+    ObjectProfile& obj = profile.objects[name];
+    obj.name = name;
+    if (obj.label.empty()) obj.label = registry_.label_of(inst.id);
     obj.bytes += inst.bytes;
     ++obj.allocations;
     if (inst.id < per_object_.size()) {

@@ -3,50 +3,197 @@
 #include "common/check.h"
 
 namespace moca::os {
+namespace {
+
+constexpr Vpn kDataVpn = kDataBase >> kPageShift;
+constexpr Vpn kHeapLatVpn = kHeapLatBase >> kPageShift;
+constexpr Vpn kHeapBwVpn = kHeapBwBase >> kPageShift;
+constexpr Vpn kHeapPowVpn = kHeapPowBase >> kPageShift;
+constexpr Vpn kHeapPowEndVpn = (kHeapPowBase + kSegmentSpan) >> kPageShift;
+constexpr Vpn kStackVpn = kStackBase >> kPageShift;
+
+[[nodiscard]] std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PageTable
+
+std::array<PageTable::Region, PageTable::kRegionCount>
+PageTable::make_regions() {
+  std::array<Region, kRegionCount> regions;
+  regions[0].base = 0;  // code
+  regions[1].base = kDataVpn;
+  regions[2].base = kHeapLatVpn;
+  regions[3].base = kHeapBwVpn;
+  regions[4].base = kHeapPowVpn;
+  regions[5].base = kHeapPowEndVpn;  // unused gap below the stack
+  regions[6].base = kStackVpn;
+  return regions;
+}
+
+std::size_t PageTable::region_of(Vpn vpn) {
+  if (vpn >= kStackVpn) return 6;
+  if (vpn >= kHeapPowEndVpn) return 5;
+  if (vpn >= kHeapPowVpn) return 4;
+  if (vpn >= kHeapBwVpn) return 3;
+  if (vpn >= kHeapLatVpn) return 2;
+  if (vpn >= kDataVpn) return 1;
+  return 0;
+}
+
+PageTable::Leaf& PageTable::ensure_leaf(Vpn vpn) {
+  Region& region = regions_[region_of(vpn)];
+  const std::size_t d =
+      static_cast<std::size_t>((vpn - region.base) >> kLeafBits);
+  if (d >= region.dir.size()) region.dir.resize(d + 1);
+  if (region.dir[d] == nullptr) region.dir[d] = std::make_unique<Leaf>();
+  return *region.dir[d];
+}
 
 void PageTable::map(Vpn vpn, Pfn pfn) {
-  const auto [it, inserted] = table_.emplace(vpn, pfn);
-  (void)it;
-  MOCA_CHECK_MSG(inserted, "double mapping of vpn " << vpn);
+  MOCA_CHECK_MSG(pfn != kNoPfn, "pfn sentinel mapped for vpn " << vpn);
+  Leaf& leaf = ensure_leaf(vpn);
+  Pfn& slot = leaf.pfn[vpn & kLeafMask];
+  MOCA_CHECK_MSG(slot == kNoPfn, "double mapping of vpn " << vpn);
+  slot = pfn;
+  ++leaf.used;
+  ++mapped_;
 }
 
 Pfn PageTable::unmap(Vpn vpn) {
-  const auto it = table_.find(vpn);
-  MOCA_CHECK_MSG(it != table_.end(), "unmap of unmapped vpn " << vpn);
-  const Pfn pfn = it->second;
-  table_.erase(it);
+  Region& region = regions_[region_of(vpn)];
+  const std::size_t d =
+      static_cast<std::size_t>((vpn - region.base) >> kLeafBits);
+  Leaf* leaf = d < region.dir.size() ? region.dir[d].get() : nullptr;
+  MOCA_CHECK_MSG(leaf != nullptr && leaf->pfn[vpn & kLeafMask] != kNoPfn,
+                 "unmap of unmapped vpn " << vpn);
+  Pfn& slot = leaf->pfn[vpn & kLeafMask];
+  const Pfn pfn = slot;
+  slot = kNoPfn;
+  --leaf->used;
+  --mapped_;
+  if (leaf->used == 0) region.dir[d].reset();  // keep teardown memory-lean
   return pfn;
 }
 
-std::optional<Pfn> Tlb::lookup(ProcessId pid, Vpn vpn) {
-  for (Entry& e : entries_) {
-    if (e.pid == pid && e.vpn == vpn) {
-      e.lru = ++clock_;
-      ++hits_;
-      return e.pfn;
+std::vector<std::pair<Vpn, Pfn>> PageTable::entries() const {
+  std::vector<std::pair<Vpn, Pfn>> out;
+  out.reserve(mapped_);
+  for_each([&out](Vpn vpn, Pfn pfn) { out.emplace_back(vpn, pfn); });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tlb
+
+Tlb::Tlb(std::uint32_t entries) : capacity_(entries) {
+  // Load factor <= 0.5 and at least one always-empty slot terminate every
+  // linear probe; min size 8 keeps the zero/tiny-capacity cases trivial.
+  const std::size_t table_size =
+      next_pow2(std::size_t{8} > 2 * std::size_t{capacity_}
+                    ? std::size_t{8}
+                    : 2 * std::size_t{capacity_});
+  table_.assign(table_size, kNil);
+  table_mask_ = table_size - 1;
+  entries_.reserve(capacity_);
+}
+
+void Tlb::index_insert(std::uint32_t entry_idx) {
+  std::size_t slot = slot_of(entries_[entry_idx].pid, entries_[entry_idx].vpn);
+  while (table_[slot] != kNil) slot = (slot + 1) & table_mask_;
+  table_[slot] = entry_idx;
+}
+
+void Tlb::index_erase(std::size_t slot) {
+  // Backward-shift deletion: close the hole so later probes for displaced
+  // keys still terminate at their entry rather than a premature empty slot.
+  table_[slot] = kNil;
+  std::size_t hole = slot;
+  std::size_t next = (hole + 1) & table_mask_;
+  while (table_[next] != kNil) {
+    const Entry& e = entries_[table_[next]];
+    const std::size_t home = slot_of(e.pid, e.vpn);
+    // Move e back iff its home slot is not cyclically within (hole, next].
+    const bool keep = hole < next ? (home > hole && home <= next)
+                                  : (home > hole || home <= next);
+    if (!keep) {
+      table_[hole] = table_[next];
+      table_[next] = kNil;
+      hole = next;
     }
+    next = (next + 1) & table_mask_;
   }
-  ++misses_;
-  return std::nullopt;
+}
+
+void Tlb::lru_unlink(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  if (e.lru_prev != kNil) {
+    entries_[e.lru_prev].lru_next = e.lru_next;
+  } else {
+    lru_head_ = e.lru_next;
+  }
+  if (e.lru_next != kNil) {
+    entries_[e.lru_next].lru_prev = e.lru_prev;
+  } else {
+    lru_tail_ = e.lru_prev;
+  }
+  e.lru_prev = kNil;
+  e.lru_next = kNil;
+}
+
+void Tlb::lru_push_front(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  e.lru_prev = kNil;
+  e.lru_next = lru_head_;
+  if (lru_head_ != kNil) entries_[lru_head_].lru_prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
 }
 
 void Tlb::insert(ProcessId pid, Vpn vpn, Pfn pfn) {
-  for (Entry& e : entries_) {
-    if (e.pid == pid && e.vpn == vpn) {
-      e.pfn = pfn;
-      e.lru = ++clock_;
+  if (capacity_ == 0) return;
+  // The common caller (Core::translate) inserts right after a missed
+  // lookup; the memo proves the key is absent so the existence probe —
+  // the legacy second linear scan — is skipped entirely.
+  const bool known_absent =
+      miss_memo_valid_ && miss_pid_ == pid && miss_vpn_ == vpn;
+  miss_memo_valid_ = false;
+  if (!known_absent) {
+    const std::size_t slot = probe(pid, vpn);
+    if (table_[slot] != kNil) {  // present: update + touch, like legacy
+      const std::uint32_t idx = table_[slot];
+      entries_[idx].pfn = pfn;
+      touch(idx);
       return;
     }
   }
+  std::uint32_t idx;
   if (entries_.size() < capacity_) {
-    entries_.push_back(Entry{pid, vpn, pfn, ++clock_});
-    return;
+    idx = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{vpn, pfn, pid, kNil, kNil});
+  } else {
+    // Evict the list tail — the legacy minimum-stamp victim — and reuse
+    // its pool slot for the new entry.
+    idx = lru_tail_;
+    index_erase(probe(entries_[idx].pid, entries_[idx].vpn));
+    lru_unlink(idx);
+    entries_[idx] = Entry{vpn, pfn, pid, kNil, kNil};
   }
-  Entry* victim = &entries_[0];
-  for (Entry& e : entries_) {
-    if (e.lru < victim->lru) victim = &e;
-  }
-  *victim = Entry{pid, vpn, pfn, ++clock_};
+  index_insert(idx);
+  lru_push_front(idx);
+}
+
+void Tlb::flush() {
+  entries_.clear();
+  table_.assign(table_.size(), kNil);
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
+  miss_memo_valid_ = false;
 }
 
 }  // namespace moca::os

@@ -61,19 +61,4 @@ Segment heap_segment_for(MemClass c) {
   return Segment::kHeapPow;
 }
 
-Segment segment_of(VirtAddr addr) {
-  if (addr >= kStackBase) return Segment::kStack;
-  if (addr >= kHeapPowBase && addr < kHeapPowBase + kSegmentSpan) {
-    return Segment::kHeapPow;
-  }
-  if (addr >= kHeapBwBase && addr < kHeapBwBase + kSegmentSpan) {
-    return Segment::kHeapBw;
-  }
-  if (addr >= kHeapLatBase && addr < kHeapLatBase + kSegmentSpan) {
-    return Segment::kHeapLat;
-  }
-  if (addr >= kDataBase) return Segment::kData;
-  return Segment::kCode;
-}
-
 }  // namespace moca::os

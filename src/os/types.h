@@ -50,6 +50,20 @@ inline constexpr VirtAddr kStackBase = 0x0000'7fff'0000'0000ULL;
 inline constexpr VirtAddr kSegmentSpan = 0x0000'1000'0000'0000ULL;
 
 /// Segment classification of a virtual address (pure layout decode).
-[[nodiscard]] Segment segment_of(VirtAddr addr);
+/// Inline: runs once per memory micro-op at dispatch (cpu/core.cc).
+[[nodiscard]] constexpr Segment segment_of(VirtAddr addr) {
+  if (addr >= kStackBase) return Segment::kStack;
+  if (addr >= kHeapPowBase && addr < kHeapPowBase + kSegmentSpan) {
+    return Segment::kHeapPow;
+  }
+  if (addr >= kHeapBwBase && addr < kHeapBwBase + kSegmentSpan) {
+    return Segment::kHeapBw;
+  }
+  if (addr >= kHeapLatBase && addr < kHeapLatBase + kSegmentSpan) {
+    return Segment::kHeapLat;
+  }
+  if (addr >= kDataBase) return Segment::kData;
+  return Segment::kCode;
+}
 
 }  // namespace moca::os

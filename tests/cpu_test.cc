@@ -127,7 +127,10 @@ TEST(Core, SingleLoadMissStallsRobHead) {
   Fixture f(script);
   std::vector<std::uint64_t> stalled_objects;
   f.core->set_stall_observer(
-      [&](std::uint64_t obj) { stalled_objects.push_back(obj); });
+      [](void* out, std::uint64_t /*arg*/, std::uint64_t obj) {
+        static_cast<std::vector<std::uint64_t>*>(out)->push_back(obj);
+      },
+      &stalled_objects, 0);
   f.run();
   // The load misses LLC (cold) and blocks the head for ~ memory latency.
   EXPECT_GT(f.core->stats().rob_head_stall_cycles, 40);

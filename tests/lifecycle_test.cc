@@ -112,8 +112,8 @@ TEST(TransientObjects, StreamRecyclesInstances) {
   std::set<core::ObjectName> names;
   int live = 0, dead = 0;
   for (const core::ObjectInstance& inst : registry.all()) {
-    if (inst.label != "tmp_a") continue;
-    names.insert(inst.name);
+    if (registry.label_of(inst.id) != "tmp_a") continue;
+    names.insert(registry.name_of(inst.id));
     inst.live ? ++live : ++dead;
   }
   EXPECT_EQ(names.size(), 1u);

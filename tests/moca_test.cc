@@ -64,9 +64,9 @@ TEST(Registry, AddAndFindByAddress) {
       reg.add(222, 0, 0x2000, 128, os::MemClass::kBandwidth, "obj-b");
   EXPECT_EQ(a, 0u);
   EXPECT_EQ(b, 1u);
-  EXPECT_EQ(reg.instance(a).label, "obj-a");
+  EXPECT_EQ(reg.label_of(a), "obj-a");
   ASSERT_NE(reg.find(0, 0x1080), nullptr);
-  EXPECT_EQ(reg.find(0, 0x1080)->name, 111u);
+  EXPECT_EQ(reg.name_of(reg.find(0, 0x1080)->id), 111u);
   EXPECT_EQ(reg.find(0, 0x1000 + 256), nullptr);  // one past end
   EXPECT_EQ(reg.find(0, 0x0500), nullptr);
   EXPECT_EQ(reg.find(1, 0x1080), nullptr);  // other process

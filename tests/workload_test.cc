@@ -179,7 +179,7 @@ TEST(AppStream, ChaseLoadsCarryDependencies) {
   AppStream s = f.make("libquantum", 5);  // dominant chase object: qreg
   std::uint64_t chase_id = cache::kNoObject;
   for (const std::uint64_t id : s.object_ids()) {
-    if (f.registry.instance(id).label == "qreg") chase_id = id;
+    if (f.registry.label_of(id) == "qreg") chase_id = id;
   }
   ASSERT_NE(chase_id, cache::kNoObject);
   std::set<std::uint64_t> chase_load_indices;
@@ -208,7 +208,7 @@ TEST(AppStream, ScaleShrinksFootprintButKeepsNames) {
   AppStream b = small.make("mcf", 9, 0.5);
   ASSERT_EQ(big.registry.size(), small.registry.size());
   for (std::size_t i = 0; i < big.registry.size(); ++i) {
-    EXPECT_EQ(big.registry.instance(i).name, small.registry.instance(i).name);
+    EXPECT_EQ(big.registry.name_of(i), small.registry.name_of(i));
     EXPECT_GE(big.registry.instance(i).bytes,
               small.registry.instance(i).bytes);
   }
@@ -222,8 +222,7 @@ TEST(AppStream, TrainingAndReferenceShareObjectNames) {
   AppStream r = ref.make("disparity", 999, 1.0);
   ASSERT_EQ(train.registry.size(), ref.registry.size());
   for (std::size_t i = 0; i < train.registry.size(); ++i) {
-    EXPECT_EQ(train.registry.instance(i).name,
-              ref.registry.instance(i).name);
+    EXPECT_EQ(train.registry.name_of(i), ref.registry.name_of(i));
   }
 }
 
