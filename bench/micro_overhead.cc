@@ -64,11 +64,13 @@ void BM_BareBumpAlloc(benchmark::State& state) {
 BENCHMARK(BM_BareBumpAlloc);
 
 /// One full-system simulation (the Sec. IV-E overhead workload).
-void run_system(bool with_profiling, std::uint64_t epoch_instructions = 0) {
+void run_system(bool with_profiling, std::uint64_t epoch_instructions = 0,
+                bool with_adaptive = false) {
   sim::SystemOptions options;
   options.instructions_per_core = 60'000;
   options.enable_profiling = with_profiling;
   options.observability.epoch_instructions = epoch_instructions;
+  if (with_adaptive) options.adaptive = core::AdaptiveConfig{};
   sim::AppInstance inst;
   inst.spec = workload::app_by_name("milc");
   inst.seed = 99;
@@ -115,6 +117,40 @@ void BM_SimulationOverheadPaired(benchmark::State& state) {
       benchmark::Counter(60'000.0 * sims_per_side / prof_s);
 }
 BENCHMARK(BM_SimulationOverheadPaired)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+/// Adaptive-engine overhead, measured the same paired A/B/B/A way. The
+/// engine-off side is the guarded number: wiring the engine through the
+/// observer and epoch paths must cost nothing when it is not configured
+/// (tools/perf_guard.py pins micro_overhead_noadaptive_instr_per_s). The
+/// engine-on side is reported for visibility, not guarded — it legitimately
+/// pays for attribution recording and epoch passes.
+void BM_SimulationAdaptivePaired(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  for (auto _ : state) {
+    const clock::time_point t0 = clock::now();
+    run_system(/*with_profiling=*/false);
+    const clock::time_point t1 = clock::now();
+    run_system(/*with_profiling=*/false, 0, /*with_adaptive=*/true);
+    run_system(/*with_profiling=*/false, 0, /*with_adaptive=*/true);
+    const clock::time_point t2 = clock::now();
+    run_system(/*with_profiling=*/false);
+    const clock::time_point t3 = clock::now();
+    off_s += std::chrono::duration<double>(t1 - t0).count() +
+             std::chrono::duration<double>(t3 - t2).count();
+    on_s += std::chrono::duration<double>(t2 - t1).count();
+    state.SetIterationTime(std::chrono::duration<double>(t3 - t0).count());
+  }
+  const double sims_per_side = 2.0 * static_cast<double>(state.iterations());
+  state.counters["noadaptive_instr_per_s"] =
+      benchmark::Counter(60'000.0 * sims_per_side / off_s);
+  state.counters["adaptive_instr_per_s"] =
+      benchmark::Counter(60'000.0 * sims_per_side / on_s);
+}
+BENCHMARK(BM_SimulationAdaptivePaired)
     ->Unit(benchmark::kMillisecond)
     ->UseManualTime();
 

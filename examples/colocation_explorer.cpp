@@ -8,12 +8,14 @@
 #include <vector>
 
 #include "common/table.h"
+#include "sim/experiment_options.h"
 #include "sim/runner.h"
 #include "workload/suite.h"
 
 int main(int argc, char** argv) {
   using namespace moca;
-  const sim::Experiment experiment = sim::Experiment::from_env();
+  const sim::Experiment experiment =
+      sim::ExperimentOptions::from_env().experiment;
 
   std::vector<std::string> apps = {"mcf", "milc", "tracking", "sift"};
   if (argc == 5) apps = {argv[1], argv[2], argv[3], argv[4]};

@@ -9,13 +9,15 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "sim/experiment_options.h"
 #include "sim/runner.h"
 #include "workload/suite.h"
 
 int main(int argc, char** argv) {
   using namespace moca;
 
-  sim::Experiment experiment = sim::Experiment::from_env();
+  sim::Experiment experiment =
+      sim::ExperimentOptions::from_env().experiment;
   if (argc > 1) experiment.instructions = std::strtoull(argv[1], nullptr, 10);
 
   const std::string app = "disparity";

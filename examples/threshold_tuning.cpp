@@ -8,12 +8,14 @@
 #include <vector>
 
 #include "common/table.h"
+#include "sim/experiment_options.h"
 #include "sim/runner.h"
 #include "workload/suite.h"
 
 int main() {
   using namespace moca;
-  sim::Experiment experiment = sim::Experiment::from_env();
+  sim::Experiment experiment =
+      sim::ExperimentOptions::from_env().experiment;
   const std::string app = "milc";  // mixed L/B/N objects
   std::cout << "== Threshold tuning on '" << app << "' (Sec. IV-C) ==\n\n";
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "dram/types.h"
 #include "os/policy.h"
@@ -15,9 +14,10 @@ namespace moca::core {
 class HomogeneousPolicy final : public os::AllocationPolicy {
  public:
   explicit HomogeneousPolicy(dram::MemKind kind) : kind_(kind) {}
-  [[nodiscard]] std::vector<dram::MemKind> preference(
-      const os::PageContext&) const override {
-    return {kind_};
+  void preference(const os::PageContext&,
+                  os::PreferenceChain& out) const override {
+    out.clear();
+    out.push_back(kind_);
   }
   [[nodiscard]] std::string name() const override {
     return "Homogen-" + dram::to_string(kind_);
@@ -32,9 +32,9 @@ class HomogeneousPolicy final : public os::AllocationPolicy {
 /// preference chain of the application's aggregate class.
 class HeterAppPolicy final : public os::AllocationPolicy {
  public:
-  [[nodiscard]] std::vector<dram::MemKind> preference(
-      const os::PageContext& context) const override {
-    return os::chain_for_class(context.app_class);
+  void preference(const os::PageContext& context,
+                  os::PreferenceChain& out) const override {
+    os::chain_for_class(context.app_class, out);
   }
   [[nodiscard]] std::string name() const override { return "Heter-App"; }
 };
@@ -47,20 +47,18 @@ class HeterAppPolicy final : public os::AllocationPolicy {
 /// page-migration baseline, whose daemon then promotes hot pages into it.
 class InterleavedPolicy final : public os::AllocationPolicy {
  public:
-  [[nodiscard]] std::vector<dram::MemKind> preference(
-      const os::PageContext&) const override {
+  void preference(const os::PageContext&,
+                  os::PreferenceChain& out) const override {
     static constexpr dram::MemKind kRotation[] = {
         dram::MemKind::kHbm,  dram::MemKind::kLpddr2, dram::MemKind::kHbm,
         dram::MemKind::kDdr3, dram::MemKind::kHbm,    dram::MemKind::kDdr3};
     constexpr std::size_t kN = sizeof(kRotation) / sizeof(kRotation[0]);
     const std::uint64_t start = next_++;
-    std::vector<dram::MemKind> chain;
-    chain.reserve(kN + 1);
+    out.clear();
     for (std::size_t i = 0; i < kN; ++i) {
-      chain.push_back(kRotation[(start + i) % kN]);
+      out.push_back(kRotation[(start + i) % kN]);
     }
-    chain.push_back(dram::MemKind::kRldram3);  // last resort only
-    return chain;
+    out.push_back(dram::MemKind::kRldram3);  // last resort only
   }
   [[nodiscard]] std::string name() const override { return "Interleaved"; }
 
@@ -73,15 +71,18 @@ class InterleavedPolicy final : public os::AllocationPolicy {
 /// power-optimized chain (Sec. VI-D).
 class MocaPolicy final : public os::AllocationPolicy {
  public:
-  [[nodiscard]] std::vector<dram::MemKind> preference(
-      const os::PageContext& context) const override {
+  void preference(const os::PageContext& context,
+                  os::PreferenceChain& out) const override {
     switch (context.segment) {
       case os::Segment::kHeapLat:
-        return os::chain_for_class(os::MemClass::kLatency);
+        os::chain_for_class(os::MemClass::kLatency, out);
+        return;
       case os::Segment::kHeapBw:
-        return os::chain_for_class(os::MemClass::kBandwidth);
+        os::chain_for_class(os::MemClass::kBandwidth, out);
+        return;
       default:
-        return os::chain_for_class(os::MemClass::kNonIntensive);
+        os::chain_for_class(os::MemClass::kNonIntensive, out);
+        return;
     }
   }
   [[nodiscard]] std::string name() const override { return "MOCA"; }

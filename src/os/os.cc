@@ -100,10 +100,12 @@ std::optional<Os::RemapResult> Os::try_remap(ProcessId pid, Vpn vpn,
 }
 
 Pfn Os::allocate_frame(const PageContext& context) {
-  const std::vector<dram::MemKind> chain = policy_.preference(context);
+  PreferenceChain chain;  // stack-only: the fault path must not allocate
+  policy_.preference(context, chain);
   bool first_choice_seen = false;
   for (const dram::MemKind kind : chain) {
-    const std::vector<std::uint32_t> candidates = phys_.modules_of_kind(kind);
+    const std::vector<std::uint32_t>& candidates =
+        phys_.modules_of_kind(kind);
     if (candidates.empty()) continue;  // kind absent from this machine
     const std::uint64_t start = rr_cursor_++;
     for (std::size_t i = 0; i < candidates.size(); ++i) {

@@ -28,7 +28,11 @@ std::uint32_t PhysicalMemory::add_module(dram::MemoryModule* module) {
   e.allocator = FrameAllocator(e.frames);
   next_base_ += e.frames;
   entries_.push_back(std::move(e));
-  return static_cast<std::uint32_t>(entries_.size() - 1);
+  const auto index = static_cast<std::uint32_t>(entries_.size() - 1);
+  const auto kind = static_cast<std::size_t>(module->kind());
+  MOCA_CHECK(kind < kKindCount);
+  by_kind_[kind].push_back(index);
+  return index;
 }
 
 std::optional<Pfn> PhysicalMemory::try_allocate(std::uint32_t module_index) {
@@ -68,13 +72,11 @@ PhysicalMemory::Location PhysicalMemory::locate(PhysAddr addr) const {
   return {};
 }
 
-std::vector<std::uint32_t> PhysicalMemory::modules_of_kind(
+const std::vector<std::uint32_t>& PhysicalMemory::modules_of_kind(
     dram::MemKind kind) const {
-  std::vector<std::uint32_t> out;
-  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].module->kind() == kind) out.push_back(i);
-  }
-  return out;
+  const auto index = static_cast<std::size_t>(kind);
+  MOCA_CHECK(index < kKindCount);
+  return by_kind_[index];
 }
 
 }  // namespace moca::os

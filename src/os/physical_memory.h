@@ -1,6 +1,7 @@
 // Physical frame management over a set of heterogeneous memory modules.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -81,8 +82,10 @@ class PhysicalMemory {
   }
   [[nodiscard]] std::uint64_t total_frames() const { return next_base_; }
 
-  /// Modules of a given kind, in registration order.
-  [[nodiscard]] std::vector<std::uint32_t> modules_of_kind(
+  /// Modules of a given kind, in registration order. Returns a reference
+  /// to a per-kind index cache maintained by add_module, so the per-fault
+  /// chain walk in Os::allocate_frame stays allocation-free.
+  [[nodiscard]] const std::vector<std::uint32_t>& modules_of_kind(
       dram::MemKind kind) const;
 
   /// Arms fault injection: try_allocate consults the injector before
@@ -97,7 +100,12 @@ class PhysicalMemory {
     std::uint64_t frames = 0;
     FrameAllocator allocator{0};
   };
+  static constexpr std::size_t kKindCount = 5;  // |dram::MemKind|
+
   std::vector<Entry> entries_;
+  /// Per-kind module-index caches (registration order), rebuilt by
+  /// add_module so modules_of_kind can hand out references.
+  std::array<std::vector<std::uint32_t>, kKindCount> by_kind_;
   Pfn next_base_ = 0;
   FaultInjector* injector_ = nullptr;
 };

@@ -4,22 +4,34 @@
 
 namespace moca::os {
 
-std::vector<dram::MemKind> chain_for_class(MemClass c) {
+void chain_for_class(MemClass c, PreferenceChain& out) {
   using dram::MemKind;
+  out.clear();
   switch (c) {
     case MemClass::kLatency:
-      return {MemKind::kRldram3, MemKind::kHbm, MemKind::kDdr4,
-              MemKind::kDdr3, MemKind::kLpddr2};
+      out.push_back(MemKind::kRldram3);
+      out.push_back(MemKind::kHbm);
+      out.push_back(MemKind::kDdr4);
+      out.push_back(MemKind::kDdr3);
+      out.push_back(MemKind::kLpddr2);
+      return;
     case MemClass::kBandwidth:
       // Paper: "next best for HBM is LPDDR".
-      return {MemKind::kHbm, MemKind::kLpddr2, MemKind::kDdr4,
-              MemKind::kDdr3, MemKind::kRldram3};
+      out.push_back(MemKind::kHbm);
+      out.push_back(MemKind::kLpddr2);
+      out.push_back(MemKind::kDdr4);
+      out.push_back(MemKind::kDdr3);
+      out.push_back(MemKind::kRldram3);
+      return;
     case MemClass::kNonIntensive:
-      return {MemKind::kLpddr2, MemKind::kDdr3, MemKind::kDdr4,
-              MemKind::kHbm, MemKind::kRldram3};
+      out.push_back(MemKind::kLpddr2);
+      out.push_back(MemKind::kDdr3);
+      out.push_back(MemKind::kDdr4);
+      out.push_back(MemKind::kHbm);
+      out.push_back(MemKind::kRldram3);
+      return;
   }
   MOCA_CHECK_MSG(false, "unknown MemClass");
-  return {};
 }
 
 }  // namespace moca::os

@@ -6,9 +6,12 @@
 // full, and finally to any module with free frames.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/check.h"
 #include "dram/types.h"
 #include "os/types.h"
 
@@ -24,22 +27,56 @@ struct PageContext {
   MemClass app_class = MemClass::kNonIntensive;
 };
 
+/// Fixed-capacity ordered preference list of module kinds. Policies fill a
+/// caller-provided instance so the per-fault hot path (Os::allocate_frame)
+/// never touches the heap. Capacity 8 covers every policy in the tree: the
+/// longest chain is InterleavedPolicy's 6-entry rotation plus the RLDRAM
+/// last resort (7); overflowing push_back is a checked error, not a spill.
+class PreferenceChain {
+ public:
+  static constexpr std::size_t kCapacity = 8;
+
+  void clear() { size_ = 0; }
+  void push_back(dram::MemKind kind) {
+    MOCA_CHECK_MSG(size_ < kCapacity, "PreferenceChain overflow");
+    kinds_[size_++] = kind;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] dram::MemKind operator[](std::size_t i) const {
+    return kinds_[i];
+  }
+  [[nodiscard]] dram::MemKind front() const { return kinds_[0]; }
+  [[nodiscard]] dram::MemKind back() const { return kinds_[size_ - 1]; }
+  [[nodiscard]] const dram::MemKind* begin() const { return kinds_.data(); }
+  [[nodiscard]] const dram::MemKind* end() const {
+    return kinds_.data() + size_;
+  }
+
+ private:
+  std::array<dram::MemKind, kCapacity> kinds_{};
+  std::uint8_t size_ = 0;
+};
+
 /// Strategy deciding where a page's frame should come from.
 class AllocationPolicy {
  public:
   virtual ~AllocationPolicy() = default;
 
-  /// Ordered module-kind preference for this page. Kinds absent from the
-  /// machine are skipped by the OS.
-  [[nodiscard]] virtual std::vector<dram::MemKind> preference(
-      const PageContext& context) const = 0;
+  /// Writes the ordered module-kind preference for this page into `out`,
+  /// replacing its previous contents. Kinds absent from the machine are
+  /// skipped by the OS. Implementations must not allocate: this runs on
+  /// every page fault.
+  virtual void preference(const PageContext& context,
+                          PreferenceChain& out) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Preference chains used throughout (paper Sec. III-C: "if the best-fitting
 /// module is exhausted, MOCA proceeds to the next best memory module (e.g.,
-/// next best for HBM is LPDDR)").
-[[nodiscard]] std::vector<dram::MemKind> chain_for_class(MemClass c);
+/// next best for HBM is LPDDR)"). Replaces the previous contents of `out`.
+void chain_for_class(MemClass c, PreferenceChain& out);
 
 }  // namespace moca::os

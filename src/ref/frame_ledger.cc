@@ -61,7 +61,7 @@ std::vector<std::uint32_t> FrameLedger::modules_of_kind(
 }
 
 std::optional<FrameLedger::Placement> FrameLedger::allocate_chain(
-    const std::vector<dram::MemKind>& chain) {
+    const os::PreferenceChain& chain) {
   bool first_choice_seen = false;
   for (const dram::MemKind kind : chain) {
     const std::vector<std::uint32_t> candidates = modules_of_kind(kind);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dram/types.h"
+#include "os/policy.h"
 #include "os/types.h"
 
 namespace moca::os {
@@ -57,8 +58,10 @@ class FrameLedger {
     bool last_resort = false;  // placed by the any-module-with-space pass
   };
   /// nullopt = simulated machine out of memory (the production Os throws).
+  /// Takes the same fixed-capacity chain type policies now fill, so the
+  /// ledger consumes exactly what the production allocator consumes.
   [[nodiscard]] std::optional<Placement> allocate_chain(
-      const std::vector<dram::MemKind>& chain);
+      const os::PreferenceChain& chain);
 
   [[nodiscard]] std::uint32_t module_count() const {
     return static_cast<std::uint32_t>(modules_.size());

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/check.h"
+#include "moca/adaptive.h"
 
 namespace moca::sim {
 namespace {
@@ -16,6 +17,7 @@ const std::vector<FlagSpec>& shared_flags() {
       {"trace-out", true}, {"jobs", true}, {"log", false},
       {"fault-plan", true}, {"timeout-ms", true}, {"retries", true},
       {"journal", true}, {"resume", true}, {"audit", false},
+      {"adaptive", true},
   };
   return kShared;
 }
@@ -32,6 +34,11 @@ const FlagSpec* find_flag(const std::string& name,
 }
 
 std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  // strtoull silently wraps a leading '-' to a huge value; reject it so
+  // "-1" fails loudly like every other malformed number.
+  MOCA_CHECK_MSG(!text.empty() && text[0] != '-',
+                 what << " needs a non-negative number, got '" << text
+                      << "'");
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
   MOCA_CHECK_MSG(end != text.c_str() && *end == '\0',
@@ -122,6 +129,10 @@ ExperimentOptions ExperimentOptions::from_env() {
   if (std::getenv("MOCA_SIM_AUDIT") != nullptr) {
     options.experiment.observability.audit = true;
   }
+  if (const char* adaptive = std::getenv("MOCA_SIM_ADAPTIVE");
+      adaptive != nullptr && *adaptive != '\0') {
+    options.experiment.adaptive = core::parse_adaptive_spec(adaptive);
+  }
   return options;
 }
 
@@ -180,6 +191,10 @@ void ExperimentOptions::apply_flags(const ParsedArgs& args) {
     supervised = true;
   }
   if (args.has("audit")) experiment.observability.audit = true;
+  if (args.has("adaptive")) {
+    // "--adaptive off" overrides an environment opt-in (flag > env).
+    experiment.adaptive = core::parse_adaptive_spec(args.get("adaptive"));
+  }
 }
 
 SweepRunner ExperimentOptions::make_runner() const {

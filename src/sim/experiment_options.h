@@ -27,6 +27,9 @@
 //   --resume F      (flag only)        resume from journal F (implies
 //                                      --journal F)
 //   --audit         MOCA_SIM_AUDIT     epoch-driven invariant auditor
+//   --adaptive S    MOCA_SIM_ADAPTIVE  phase-adaptive reclassification
+//                                      engine: on|off|key=value,...
+//                                      (moca/adaptive.h grammar)
 //
 // parse_args() rejects unknown flags and missing values with CheckError so
 // a typo ("--jsonx") fails loudly instead of silently swallowing the next

@@ -95,6 +95,22 @@ void write_run_result(JsonWriter& w, const RunResult& r) {
     w.key("copied_lines").value(r.migration.copied_lines);
     w.end_object();
   }
+  // Schema-additive like "migration": the block only appears when the
+  // adaptive engine ran, so engine-off reports stay byte-identical.
+  if (r.adaptive.epochs > 0) {
+    w.key("adaptive").begin_object();
+    w.key("epochs").value(r.adaptive.epochs);
+    w.key("reclassifications").value(r.adaptive.reclassifications);
+    w.key("object_promotions").value(r.adaptive.object_promotions);
+    w.key("object_demotions").value(r.adaptive.object_demotions);
+    w.key("moved_pages").value(r.adaptive.moved_pages);
+    w.key("copied_lines").value(r.adaptive.copied_lines);
+    w.key("denied_no_space").value(r.adaptive.denied_no_space);
+    w.key("hysteresis_residency").value(r.adaptive.hysteresis_residency);
+    w.key("hysteresis_margin").value(r.adaptive.hysteresis_margin);
+    w.key("ping_pong_moves").value(r.adaptive.ping_pong_moves);
+    w.end_object();
+  }
   if (r.observability.has_timeseries()) {
     w.key("timeseries");
     write_timeseries(w, r.observability);

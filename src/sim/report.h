@@ -23,8 +23,9 @@ namespace moca::sim {
 inline constexpr std::uint64_t kReportSchemaVersion = 3;
 
 /// Serializes a RunResult as a JSON document (per-core, per-module and
-/// aggregate metrics; migration stats when the daemon ran; the epoch
-/// time-series when sampling was on). Trace events are NOT embedded —
+/// aggregate metrics; migration stats when the daemon ran; adaptive
+/// reclassification stats when the engine ran; the epoch time-series when
+/// sampling was on). Trace events are NOT embedded —
 /// entry points write them to a separate Chrome-trace file.
 [[nodiscard]] std::string to_json(const RunResult& result);
 

@@ -33,19 +33,6 @@ std::vector<SystemChoice> all_system_choices() {
           SystemChoice::kHeterApp, SystemChoice::kMoca};
 }
 
-Experiment Experiment::from_env() {
-  Experiment e;
-  if (const char* env = std::getenv("MOCA_SIM_INSTR"); env != nullptr) {
-    char* end = nullptr;
-    const long long value = std::strtoll(env, &end, 10);
-    MOCA_CHECK_MSG(end != env && *end == '\0' && value > 0,
-                   "MOCA_SIM_INSTR must be a positive integer, got '"
-                       << env << "'");
-    e.instructions = static_cast<std::uint64_t>(value);
-  }
-  return e;
-}
-
 core::AppProfile profile_app(const workload::AppSpec& app,
                              const Experiment& experiment) {
   SystemOptions options;
@@ -135,6 +122,7 @@ RunResult run_workload(const std::vector<std::string>& app_names,
   options.instructions_per_core = experiment.instructions;
   options.warmup_instructions = experiment.effective_warmup();
   options.observability = experiment.observability;
+  options.adaptive = experiment.adaptive;
   options.faults = experiment.faults;
   options.fault_seed = experiment.ref_seed;
   options.fault_attempt = experiment.fault_attempt;
@@ -171,6 +159,7 @@ RunResult run_workload_with_migration(
   options.instructions_per_core = experiment.instructions;
   options.warmup_instructions = experiment.effective_warmup();
   options.observability = experiment.observability;
+  options.adaptive = experiment.adaptive;
   options.migration = migration;
   options.faults = experiment.faults;
   options.fault_seed = experiment.ref_seed;

@@ -50,6 +50,11 @@ struct Experiment {
   /// Epoch sampling / phase tracing for the measured runs (profiling runs
   /// always leave it off). Carried through sweep jobs unchanged.
   ObservabilityOptions observability;
+  /// Phase-adaptive reclassification engine for the measured runs
+  /// (profiling runs never enable it: the offline profile must describe
+  /// the application, not the engine's interventions). Parsed from
+  /// --adaptive / MOCA_SIM_ADAPTIVE; nullopt = off.
+  std::optional<core::AdaptiveConfig> adaptive;
   /// Deterministic fault plan armed for the measured runs (profiling runs
   /// stay fault-free so the classification db is stable). Stochastic
   /// clauses derive their streams from ref_seed; an empty plan costs
@@ -62,11 +67,6 @@ struct Experiment {
   /// becomes true the run throws CancelledError. Null = never cancelled.
   /// Set by the supervisor's per-job watchdog, not by end users.
   const std::atomic<bool>* cancel = nullptr;
-
-  /// Legacy env overlay (MOCA_SIM_INSTR only). Entry points should use the
-  /// full ExperimentOptions::from_env() parser instead; this remains as a
-  /// shim for code that needs just the instruction-budget override.
-  static Experiment from_env();
 
   /// Warm-up used by the runner: a quarter of the measured window, clamped
   /// to [20K, 250K] instructions — enough to fill the caches' resident

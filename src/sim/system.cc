@@ -93,6 +93,44 @@ System::System(const MemSystemConfig& memsys,
     events_.schedule(period, Epoch{this, period});
   }
 
+  if (options_.adaptive.has_value()) {
+    adaptive_ = std::make_unique<core::AdaptiveEngine>(*os_, registry_,
+                                                       *options_.adaptive);
+    adaptive_->set_copy_hook(
+        [this](os::PhysAddr old_page, os::PhysAddr new_page) {
+          // Same copy-traffic model as the migration daemon: read every
+          // line of the old frame, write every line of the new one.
+          for (std::uint64_t off = 0; off < kPageBytes; off += kLineBytes) {
+            const os::PhysicalMemory::Location src =
+                phys_.locate(old_page + off);
+            modules_[src.module_index]->access(src.local_addr, false,
+                                               nullptr);
+            const os::PhysicalMemory::Location dst =
+                phys_.locate(new_page + off);
+            modules_[dst.module_index]->access(dst.local_addr, true,
+                                               nullptr);
+          }
+        });
+    adaptive_->set_shootdown_hook([this] {
+      for (PerCore& pc : cores_) pc.core->flush_tlb();
+    });
+    adaptive_->set_instruction_source([this](os::ProcessId pid) {
+      // Process pids are created in core order, so pid indexes cores_.
+      return cores_[pid].core->stats().committed;
+    });
+    struct AdaptiveEpoch {
+      System* system;
+      TimePs period;
+      void operator()() const {
+        system->adaptive_->run_epoch();
+        system->events_.schedule(system->events_.now() + period, *this);
+      }
+    };
+    const TimePs period =
+        options_.adaptive->epoch_cycles * kCpuCyclePs;
+    events_.schedule(period, AdaptiveEpoch{this, period});
+  }
+
   for (std::size_t i = 0; i < apps_.size(); ++i) {
     AppInstance& app = apps_[i];
     PerCore pc;
@@ -120,12 +158,16 @@ System::System(const MemSystemConfig& memsys,
     if (options_.prefetch_degree > 0) {
       pc.hierarchy->enable_next_line_prefetch(options_.prefetch_degree);
     }
-    if (options_.enable_profiling || migrator_ != nullptr) {
+    if (options_.enable_profiling || migrator_ != nullptr ||
+        adaptive_ != nullptr) {
       pc.hierarchy->set_llc_miss_observer(
           [this](const cache::AccessContext& ctx) {
             if (options_.enable_profiling) profiler_.on_llc_miss(ctx);
             if (migrator_ != nullptr) {
               migrator_->record_miss(ctx.process, ctx.vaddr);
+            }
+            if (adaptive_ != nullptr) {
+              adaptive_->record_miss(ctx.process, ctx.object, ctx.is_load);
             }
           });
     }
@@ -134,11 +176,18 @@ System::System(const MemSystemConfig& memsys,
         static_cast<std::uint32_t>(i), options_.core_params, *pc.stream,
         *pc.hierarchy, *os_, pc.pid, events_);
     pc.core->set_budget(options_.instructions_per_core);
-    if (options_.enable_profiling) {
+    if (options_.enable_profiling || adaptive_ != nullptr) {
       pc.core->set_stall_observer(
           [](void* sys, std::uint64_t pid, std::uint64_t object) {
-            static_cast<System*>(sys)->profiler_.on_head_stall(
-                static_cast<os::ProcessId>(pid), object);
+            System* system = static_cast<System*>(sys);
+            if (system->options_.enable_profiling) {
+              system->profiler_.on_head_stall(
+                  static_cast<os::ProcessId>(pid), object);
+            }
+            if (system->adaptive_ != nullptr) {
+              system->adaptive_->record_stall(
+                  static_cast<os::ProcessId>(pid), object);
+            }
           },
           this, pc.pid);
     }
@@ -183,6 +232,9 @@ void System::register_observability() {
     registry_.register_stats(stat_registry_, "alloc");
     if (migrator_ != nullptr) {
       migrator_->register_stats(stat_registry_, "migration");
+    }
+    if (adaptive_ != nullptr) {
+      adaptive_->register_stats(stat_registry_, "moca/adaptive");
     }
     if (injector_ != nullptr) {
       injector_->register_stats(stat_registry_, "faults");
@@ -236,6 +288,16 @@ void System::epoch_tick() {
                        {{"promotions", ms.promotions},
                         {"demotions", ms.demotions}});
         traced_migrations_ = moves;
+      }
+    }
+    if (adaptive_ != nullptr) {
+      const core::AdaptiveStats& as = adaptive_->stats();
+      if (as.reclassifications > traced_reclassifications_) {
+        trace_.instant("adaptive_burst", "adaptive", events_.now(),
+                       {{"promotions", as.object_promotions},
+                        {"demotions", as.object_demotions},
+                        {"moved_pages", as.moved_pages}});
+        traced_reclassifications_ = as.reclassifications;
       }
     }
   }
@@ -409,6 +471,7 @@ RunResult System::run() {
   result.policy_name = policy_->name();
   result.os_stats = os_->stats();
   if (migrator_ != nullptr) result.migration = migrator_->stats();
+  if (adaptive_ != nullptr) result.adaptive = adaptive_->stats();
 
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     PerCore& pc = cores_[i];

@@ -12,6 +12,7 @@
 #include "common/fault_injection.h"
 #include "cpu/core.h"
 #include "dram/module.h"
+#include "moca/adaptive.h"
 #include "moca/allocator.h"
 #include "moca/classifier.h"
 #include "moca/object_registry.h"
@@ -45,6 +46,10 @@ struct SystemOptions {
   /// When set, the epoch-based page-migration daemon runs on top of the
   /// base policy (the dynamic alternative of Sec. IV-E / related work).
   std::optional<os::MigrationConfig> migration;
+  /// When set, the phase-adaptive object reclassification engine runs on
+  /// top of the base policy (moca/adaptive.h). Independent of `migration`;
+  /// both can run, each moving pages through the same OS remap primitive.
+  std::optional<core::AdaptiveConfig> adaptive;
   /// Next-line prefetch degree at L2 (0 = off, the paper's machine).
   std::uint32_t prefetch_degree = 0;
   power::CorePowerParams core_power;
@@ -96,6 +101,7 @@ struct RunResult {
   std::vector<ModuleResult> modules;
   os::OsStats os_stats;
   os::MigrationStats migration;  // zeros when the daemon is off
+  core::AdaptiveStats adaptive;  // zeros when the engine is off
   TimePs exec_time = 0;              // time for every core to finish
   TimePs total_mem_access_time = 0;  // paper's "memory access time" metric
   double memory_energy_j = 0.0;
@@ -170,6 +176,7 @@ class System {
   std::unique_ptr<os::AllocationPolicy> policy_;
   std::unique_ptr<os::Os> os_;
   std::unique_ptr<os::PageMigrator> migrator_;
+  std::unique_ptr<core::AdaptiveEngine> adaptive_;
   core::ObjectRegistry registry_;
   core::Profiler profiler_;
   std::vector<PerCore> cores_;
@@ -185,6 +192,7 @@ class System {
   bool sampling_stopped_ = false;
   std::uint64_t traced_fallbacks_ = 0;
   std::uint64_t traced_migrations_ = 0;
+  std::uint64_t traced_reclassifications_ = 0;
 };
 
 }  // namespace moca::sim

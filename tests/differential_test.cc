@@ -257,11 +257,11 @@ TEST(Differential, FrameAllocatorMatchesLedger) {
 /// machine (skipped without consuming round-robin steps).
 class RandomChainPolicy final : public moca::os::AllocationPolicy {
  public:
-  std::vector<std::vector<moca::dram::MemKind>> chains;  // by Segment index
+  std::vector<moca::os::PreferenceChain> chains;  // by Segment index
 
-  [[nodiscard]] std::vector<moca::dram::MemKind> preference(
-      const moca::os::PageContext& context) const override {
-    return chains[static_cast<std::size_t>(context.segment)];
+  void preference(const moca::os::PageContext& context,
+                  moca::os::PreferenceChain& out) const override {
+    out = chains[static_cast<std::size_t>(context.segment)];
   }
   [[nodiscard]] std::string name() const override { return "random-chain"; }
 };

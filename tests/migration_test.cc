@@ -179,7 +179,8 @@ TEST(InterleavedPolicy, SpreadsAcrossPoolAndAvoidsRldram) {
   core::InterleavedPolicy policy;
   int first_lp = 0, first_hbm = 0, first_rl = 0, first_ddr3 = 0;
   for (int i = 0; i < 600; ++i) {
-    const auto chain = policy.preference(PageContext{});
+    PreferenceChain chain;
+    policy.preference(PageContext{}, chain);
     ASSERT_FALSE(chain.empty());
     switch (chain.front()) {
       case dram::MemKind::kLpddr2:

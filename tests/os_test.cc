@@ -117,14 +117,46 @@ TEST(FrameAllocator, ExhaustsAndRecycles) {
 
 TEST(PolicyChains, MatchPaperPreferences) {
   using dram::MemKind;
-  const auto lat = chain_for_class(MemClass::kLatency);
+  PreferenceChain lat;
+  chain_for_class(MemClass::kLatency, lat);
   EXPECT_EQ(lat.front(), MemKind::kRldram3);
   EXPECT_EQ(lat[1], MemKind::kHbm);
-  const auto bw = chain_for_class(MemClass::kBandwidth);
+  PreferenceChain bw;
+  chain_for_class(MemClass::kBandwidth, bw);
   EXPECT_EQ(bw.front(), MemKind::kHbm);
   EXPECT_EQ(bw[1], MemKind::kLpddr2);  // "next best for HBM is LPDDR"
-  const auto pow = chain_for_class(MemClass::kNonIntensive);
+  PreferenceChain pow;
+  chain_for_class(MemClass::kNonIntensive, pow);
   EXPECT_EQ(pow.front(), MemKind::kLpddr2);
+}
+
+TEST(PolicyChains, ChainForClassReplacesPreviousContents) {
+  using dram::MemKind;
+  PreferenceChain chain;
+  chain_for_class(MemClass::kLatency, chain);
+  ASSERT_EQ(chain.size(), 5u);
+  chain_for_class(MemClass::kBandwidth, chain);
+  ASSERT_EQ(chain.size(), 5u);  // overwritten, not appended
+  EXPECT_EQ(chain.front(), MemKind::kHbm);
+}
+
+TEST(PreferenceChain, PushBackIterationAndOverflow) {
+  using dram::MemKind;
+  PreferenceChain chain;
+  EXPECT_TRUE(chain.empty());
+  for (std::size_t i = 0; i < PreferenceChain::kCapacity; ++i) {
+    chain.push_back(MemKind::kDdr3);
+  }
+  EXPECT_EQ(chain.size(), PreferenceChain::kCapacity);
+  std::size_t seen = 0;
+  for (const MemKind kind : chain) {
+    EXPECT_EQ(kind, MemKind::kDdr3);
+    ++seen;
+  }
+  EXPECT_EQ(seen, PreferenceChain::kCapacity);
+  EXPECT_THROW(chain.push_back(MemKind::kHbm), CheckError);
+  chain.clear();
+  EXPECT_TRUE(chain.empty());
 }
 
 struct OsFixture {

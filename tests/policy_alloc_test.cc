@@ -1,0 +1,153 @@
+// Pins the allocation-policy API redesign's core claim: a page fault costs
+// zero heap allocations. AllocationPolicy::preference writes into a caller
+// provided fixed-capacity PreferenceChain (no std::vector return), the OS
+// keeps per-kind module lists precomputed, and the radix page table only
+// allocates when a fault opens a fresh 2 MiB leaf. The test measures the
+// claim with a counting global operator new (the micro_eventqueue
+// technique), faulting hundreds of pages inside a warmed leaf and requiring
+// the counter to stand still.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "dram/module.h"
+#include "moca/policies.h"
+#include "os/os.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// The replaced operators pair our malloc-backed new with free; GCC cannot
+// see that pairing and warns as if the default new were in play.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace moca {
+namespace {
+
+/// A machine with every kind the preference chains name as a first choice,
+/// each large enough that one leaf's worth of faults never spills.
+struct Fixture {
+  EventQueue events;
+  std::vector<std::unique_ptr<dram::MemoryModule>> modules;
+  os::PhysicalMemory phys;
+  std::unique_ptr<os::Os> os;
+
+  explicit Fixture(std::unique_ptr<os::AllocationPolicy> p)
+      : policy(std::move(p)) {
+    add(dram::MemKind::kRldram3, 8 * MiB, "rl");
+    add(dram::MemKind::kHbm, 8 * MiB, "hbm");
+    add(dram::MemKind::kLpddr2, 8 * MiB, "lp");
+    add(dram::MemKind::kDdr3, 8 * MiB, "ddr3");
+    os = std::make_unique<os::Os>(phys, *policy);
+  }
+
+  void add(dram::MemKind kind, std::uint64_t capacity, std::string name) {
+    modules.push_back(std::make_unique<dram::MemoryModule>(
+        dram::make_device(kind), capacity, 1, events, std::move(name)));
+    phys.add_module(modules.back().get());
+  }
+
+  std::unique_ptr<os::AllocationPolicy> policy;
+};
+
+/// Faults `pages` pages starting one page past `base` after warming the
+/// leaf (and any lazy per-kind state) with the fault at `base` itself,
+/// returning the number of heap allocations the faults performed.
+std::uint64_t allocs_across_faults(Fixture& f, os::ProcessId pid,
+                                   os::VirtAddr base, std::uint64_t pages) {
+  (void)f.os->translate(pid, base);  // warm: opens the 2 MiB radix leaf
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t faults = 0;  // gtest asserts stay outside the window
+  for (std::uint64_t p = 1; p <= pages; ++p) {
+    faults += f.os->translate(pid, base + p * kPageBytes).page_fault;
+  }
+  const std::uint64_t allocs =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(faults, pages) << "not every touch was a first touch";
+  return allocs;
+}
+
+TEST(FaultPath, MocaPolicyFaultsAreAllocationFree) {
+  Fixture f(std::make_unique<core::MocaPolicy>());
+  const os::ProcessId pid = f.os->create_process();
+  // One leaf holds 512 pages; every heap partition's base is leaf-aligned.
+  for (const os::VirtAddr base :
+       {os::kHeapLatBase, os::kHeapBwBase, os::kHeapPowBase}) {
+    EXPECT_EQ(allocs_across_faults(f, pid, base, 400), 0u)
+        << "fault path allocated in partition at " << std::hex << base;
+  }
+}
+
+TEST(FaultPath, HomogeneousPolicyFaultsAreAllocationFree) {
+  Fixture f(std::make_unique<core::HomogeneousPolicy>(
+      dram::MemKind::kLpddr2));
+  const os::ProcessId pid = f.os->create_process();
+  EXPECT_EQ(allocs_across_faults(f, pid, os::kHeapPowBase, 400), 0u);
+}
+
+TEST(FaultPath, HeterAppPolicyFaultsAreAllocationFree) {
+  Fixture f(std::make_unique<core::HeterAppPolicy>());
+  const os::ProcessId pid = f.os->create_process();
+  f.os->set_app_class(pid, os::MemClass::kLatency);
+  EXPECT_EQ(allocs_across_faults(f, pid, os::kHeapLatBase, 400), 0u);
+}
+
+TEST(FaultPath, InterleavedPolicyFaultsAreAllocationFree) {
+  Fixture f(std::make_unique<core::InterleavedPolicy>());
+  const os::ProcessId pid = f.os->create_process();
+  EXPECT_EQ(allocs_across_faults(f, pid, os::kHeapPowBase, 400), 0u);
+}
+
+TEST(FaultPath, PreferenceCallIsAllocationFree) {
+  // The API itself, without the OS around it: filling a PreferenceChain
+  // must never touch the heap (it is a fixed std::array inside).
+  core::MocaPolicy moca;
+  core::HeterAppPolicy heter;
+  core::InterleavedPolicy interleaved;
+  core::HomogeneousPolicy homogeneous(dram::MemKind::kHbm);
+  os::PageContext context;
+  context.segment = os::Segment::kHeapLat;
+  context.app_class = os::MemClass::kBandwidth;
+  os::PreferenceChain chain;
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    moca.preference(context, chain);
+    heter.preference(context, chain);
+    interleaved.preference(context, chain);
+    homogeneous.preference(context, chain);
+    os::chain_for_class(os::MemClass::kNonIntensive, chain);
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+}
+
+}  // namespace
+}  // namespace moca

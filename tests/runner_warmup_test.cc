@@ -1,10 +1,13 @@
-// Pins down Experiment::effective_warmup() edge cases and
-// Experiment::from_env() environment parsing (MOCA_SIM_INSTR).
+// Pins down Experiment::effective_warmup() edge cases and the
+// MOCA_SIM_INSTR environment parsing of ExperimentOptions::from_env()
+// (the sole experiment env parser since the Experiment::from_env shim
+// was retired).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 
 #include "common/check.h"
+#include "sim/experiment_options.h"
 #include "sim/runner.h"
 
 namespace moca {
@@ -54,26 +57,30 @@ TEST(EffectiveWarmup, ClampBoundariesExact) {
 class FromEnvTest : public ::testing::Test {
  protected:
   void TearDown() override { ::unsetenv("MOCA_SIM_INSTR"); }
+
+  static sim::Experiment experiment_from_env() {
+    return sim::ExperimentOptions::from_env().experiment;
+  }
 };
 
 TEST_F(FromEnvTest, UnsetKeepsDefault) {
   ::unsetenv("MOCA_SIM_INSTR");
-  EXPECT_EQ(sim::Experiment::from_env().instructions,
+  EXPECT_EQ(experiment_from_env().instructions,
             sim::Experiment{}.instructions);
 }
 
 TEST_F(FromEnvTest, ValidValueIsUsed) {
   ::setenv("MOCA_SIM_INSTR", "123456", 1);
-  EXPECT_EQ(sim::Experiment::from_env().instructions, 123'456u);
+  EXPECT_EQ(experiment_from_env().instructions, 123'456u);
   ::setenv("MOCA_SIM_INSTR", "1", 1);
-  EXPECT_EQ(sim::Experiment::from_env().instructions, 1u);
+  EXPECT_EQ(experiment_from_env().instructions, 1u);
 }
 
 TEST_F(FromEnvTest, JunkValuesThrow) {
   for (const char* junk :
        {"", "abc", "12abc", "abc12", "1.5e6", "0x100", " 100 ", "--3"}) {
     ::setenv("MOCA_SIM_INSTR", junk, 1);
-    EXPECT_THROW((void)sim::Experiment::from_env(), CheckError)
+    EXPECT_THROW((void)experiment_from_env(), CheckError)
         << "accepted junk MOCA_SIM_INSTR='" << junk << "'";
   }
 }
@@ -81,14 +88,14 @@ TEST_F(FromEnvTest, JunkValuesThrow) {
 TEST_F(FromEnvTest, NonPositiveValuesThrow) {
   for (const char* bad : {"0", "-1", "-100000"}) {
     ::setenv("MOCA_SIM_INSTR", bad, 1);
-    EXPECT_THROW((void)sim::Experiment::from_env(), CheckError)
+    EXPECT_THROW((void)experiment_from_env(), CheckError)
         << "accepted non-positive MOCA_SIM_INSTR='" << bad << "'";
   }
 }
 
 TEST_F(FromEnvTest, OtherFieldsUntouchedByEnv) {
   ::setenv("MOCA_SIM_INSTR", "777", 1);
-  const sim::Experiment e = sim::Experiment::from_env();
+  const sim::Experiment e = experiment_from_env();
   const sim::Experiment d;
   EXPECT_EQ(e.warmup, d.warmup);
   EXPECT_EQ(e.train_seed, d.train_seed);

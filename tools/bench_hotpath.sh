@@ -90,6 +90,8 @@ eq_self = bench(f"{tmp}/eventqueue.json", "BM_SelfRescheduling")
 eq_far = bench(f"{tmp}/eventqueue.json", "BM_FarFutureMix")
 ov_pair = bench(f"{tmp}/overhead.json",
                 "BM_SimulationOverheadPaired/manual_time")
+ov_adapt = bench(f"{tmp}/overhead.json",
+                 "BM_SimulationAdaptivePaired/manual_time")
 ov_epoch = bench(f"{tmp}/overhead.json", "BM_SimulationWithEpochSampling")
 tr_hit = bench(f"{tmp}/translation.json", "BM_TlbLookupHit")
 tr_miss = bench(f"{tmp}/translation.json", "BM_TlbMissInsert")
@@ -124,6 +126,9 @@ current = {
     "micro_overhead_noprofiling_instr_per_s":
         ov_pair["noprofiling_instr_per_s"],
     "micro_overhead_epochsampling_instr_per_s": per_sec(ov_epoch),
+    "micro_overhead_noadaptive_instr_per_s":
+        ov_adapt["noadaptive_instr_per_s"],
+    "micro_overhead_adaptive_instr_per_s": ov_adapt["adaptive_instr_per_s"],
     "micro_translation_tlb_hit_per_s": tr_hit["items_per_second"],
     "micro_translation_tlb_miss_insert_per_s": tr_miss["items_per_second"],
     "micro_translation_walk_per_s": tr_walk["items_per_second"],
@@ -158,6 +163,7 @@ if baseline_path:
                 "eventqueue_farfuture_events_per_s",
                 "micro_overhead_profiling_instr_per_s",
                 "micro_overhead_noprofiling_instr_per_s",
+                "micro_overhead_noadaptive_instr_per_s",
                 "micro_translation_fastpath_per_s",
                 "micro_attribution_fastpath_per_s",
                 "fig08_09_slice_instr_per_s"):

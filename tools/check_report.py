@@ -22,6 +22,11 @@ SCHEMA_VERSION = 3
 JOURNAL_VERSION = 1
 KINDS = {"counter", "gauge", "rate", "ratio"}
 FAILURE_KINDS = {"none", "failed", "timed_out", "quarantined"}
+ADAPTIVE_KEYS = {
+    "epochs", "reclassifications", "object_promotions", "object_demotions",
+    "moved_pages", "copied_lines", "denied_no_space",
+    "hysteresis_residency", "hysteresis_margin", "ping_pong_moves",
+}
 
 
 def fail(msg):
@@ -80,6 +85,28 @@ def check_timeseries(ts):
             if row["values"][c] < 0:
                 fail(f"row {i}: counter {paths[c]} has negative delta "
                      f"{row['values'][c]} (cumulative counter decreased)")
+
+
+def check_adaptive(block):
+    """The adaptive block is schema-additive: absent when the engine is
+    off, and when present it carries exactly the counters report.cc
+    writes, all non-negative integers with at least one elapsed epoch."""
+    if set(block) != ADAPTIVE_KEYS:
+        missing = sorted(ADAPTIVE_KEYS - set(block))
+        extra = sorted(set(block) - ADAPTIVE_KEYS)
+        fail(f"adaptive block keys wrong (missing {missing}, extra {extra})")
+    for key in sorted(ADAPTIVE_KEYS):
+        value = block[key]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            fail(f"adaptive.{key} is {value!r}, "
+                 "expected a non-negative integer")
+    if block["epochs"] == 0:
+        fail("adaptive block present but epochs is 0 "
+             "(engine-off reports must omit the block)")
+    promos = block["object_promotions"] + block["object_demotions"]
+    if promos != block["reclassifications"]:
+        fail(f"adaptive reclassifications {block['reclassifications']} != "
+             f"promotions + demotions ({promos})")
 
 
 def check_trace(path):
@@ -182,6 +209,8 @@ def main():
     parser.add_argument("report", help="JSON report (or journal) to check")
     parser.add_argument("--require-timeseries", action="store_true",
                         help="fail unless a non-empty timeseries is present")
+    parser.add_argument("--require-adaptive", action="store_true",
+                        help="fail unless an adaptive block is present")
     parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
     parser.add_argument("--sweep", action="store_true",
                         help="treat the input as a supervised sweep report")
@@ -209,6 +238,11 @@ def main():
         fail("timeseries block missing")
     if ts is not None:
         check_timeseries(ts)
+    adaptive = report.get("adaptive")
+    if args.require_adaptive and adaptive is None:
+        fail("adaptive block missing (was the engine enabled?)")
+    if adaptive is not None:
+        check_adaptive(adaptive)
     if args.trace:
         check_trace(args.trace)
     print("check_report: OK")

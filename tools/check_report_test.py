@@ -43,19 +43,36 @@ def base_report():
     }
 
 
-def run_checker(report):
+def adaptive_block():
+    """A well-formed adaptive block (engine ran, one clean promotion)."""
+    return {
+        "epochs": 6,
+        "reclassifications": 1,
+        "object_promotions": 1,
+        "object_demotions": 0,
+        "moved_pages": 8,
+        "copied_lines": 512,
+        "denied_no_space": 0,
+        "hysteresis_residency": 2,
+        "hysteresis_margin": 1,
+        "ping_pong_moves": 0,
+    }
+
+
+def run_checker(report, extra_args=()):
     with tempfile.NamedTemporaryFile("w", suffix=".json",
                                      delete=False) as f:
         json.dump(report, f)
         path = f.name
     proc = subprocess.run(
-        [sys.executable, CHECKER, path, "--require-timeseries"],
+        [sys.executable, CHECKER, path, "--require-timeseries",
+         *extra_args],
         capture_output=True, text=True)
     return proc.returncode, proc.stdout + proc.stderr
 
 
-def expect(name, report, want_fail, want_text=None):
-    code, output = run_checker(report)
+def expect(name, report, want_fail, want_text=None, extra_args=()):
+    code, output = run_checker(report, extra_args)
     failed = code != 0
     if failed != want_fail:
         print(f"FAIL {name}: exit={code}, expected "
@@ -92,6 +109,39 @@ def main():
     negative_ratio["timeseries"]["rows"][1]["values"][0] = -0.1
     expect("negative ratio value still passes", negative_ratio,
            want_fail=False)
+
+    # Adaptive-block validation: schema-additive, so absence is fine
+    # unless --require-adaptive asks for it, and presence means every
+    # counter is there and consistent.
+    with_adaptive = base_report()
+    with_adaptive["adaptive"] = adaptive_block()
+    expect("well-formed adaptive block passes", with_adaptive,
+           want_fail=False)
+    expect("adaptive block satisfies --require-adaptive", with_adaptive,
+           want_fail=False, extra_args=("--require-adaptive",))
+    expect("missing adaptive block fails under --require-adaptive",
+           base_report(), want_fail=True, want_text="adaptive block missing",
+           extra_args=("--require-adaptive",))
+
+    missing_key = copy.deepcopy(with_adaptive)
+    del missing_key["adaptive"]["ping_pong_moves"]
+    expect("adaptive block with missing counter fails", missing_key,
+           want_fail=True, want_text="ping_pong_moves")
+
+    zero_epochs = copy.deepcopy(with_adaptive)
+    zero_epochs["adaptive"]["epochs"] = 0
+    expect("adaptive block with zero epochs fails", zero_epochs,
+           want_fail=True, want_text="epochs is 0")
+
+    negative_counter_adaptive = copy.deepcopy(with_adaptive)
+    negative_counter_adaptive["adaptive"]["moved_pages"] = -3
+    expect("negative adaptive counter fails", negative_counter_adaptive,
+           want_fail=True, want_text="moved_pages")
+
+    inconsistent = copy.deepcopy(with_adaptive)
+    inconsistent["adaptive"]["object_demotions"] = 5
+    expect("reclassification count mismatch fails", inconsistent,
+           want_fail=True, want_text="promotions + demotions")
 
     print("check_report_test: all cases passed")
 

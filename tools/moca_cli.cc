@@ -396,12 +396,17 @@ int usage() {
          "  [--fault-plan P]  deterministic fault injection, e.g.\n"
          "                    'module=RL-256MB:offline@2000000;alloc:p=0.01'\n"
          "  [--audit]         epoch-driven OS invariant auditor\n"
+         "adaptive (docs/adaptive.md):\n"
+         "  [--adaptive S]    phase-adaptive object reclassification;\n"
+         "                    S = on|off|key=value,... e.g.\n"
+         "                    'epoch=50000,window=4,residency=3,margin=0.25'\n"
          "  compare only: [--timeout-ms N] [--retries N] [--journal F]\n"
          "                [--resume F] run the sweep supervised (watchdog,\n"
          "                retry/quarantine, crash-safe resume journal)\n"
          "Every knob also reads MOCA_SIM_{INSTR,WARMUP,CONFIG,EPOCH,TRACE,"
          "JOBS,\n"
-         "FAULTS,TIMEOUT_MS,AUDIT}; flags win over environment variables.\n";
+         "FAULTS,TIMEOUT_MS,AUDIT,ADAPTIVE}; flags win over environment "
+         "variables.\n";
   return 2;
 }
 

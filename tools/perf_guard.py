@@ -18,6 +18,7 @@ import sys
 DEFAULT_KEYS = [
     "micro_overhead_noprofiling_instr_per_s",
     "micro_overhead_profiling_instr_per_s",
+    "micro_overhead_noadaptive_instr_per_s",
     "micro_translation_fastpath_per_s",
     "micro_attribution_fastpath_per_s",
     "fig08_09_slice_instr_per_s",
