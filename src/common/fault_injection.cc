@@ -1,6 +1,12 @@
 #include "common/fault_injection.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+#include <vector>
 
 #include "common/check.h"
 
@@ -128,6 +134,14 @@ FaultPlan FaultPlan::parse(const std::string& text) {
                                             << "': attempts must be > 0");
         continue;
       }
+      if (a.key == "cell") {
+        MOCA_CHECK_MSG(a.at.empty(), "fault plan clause '"
+                                         << clause
+                                         << "': cell takes no @tick");
+        fc.cell = static_cast<std::int64_t>(
+            parse_u64(a.value, clause, "cell"));
+        continue;
+      }
       MOCA_CHECK_MSG(!saw_action, "fault plan clause '"
                                       << clause
                                       << "': more than one action ('"
@@ -195,6 +209,24 @@ FaultPlan FaultPlan::parse(const std::string& text) {
                                             << clause
                                             << "': fail takes no =value");
         fc.action = FaultClause::Action::kJobFail;
+      } else if (a.key == "crash") {
+        want_site(FaultClause::Site::kJob, "job");
+        MOCA_CHECK_MSG(a.value.empty(), "fault plan clause '"
+                                            << clause
+                                            << "': crash takes no =value");
+        fc.action = FaultClause::Action::kJobCrash;
+      } else if (a.key == "hang") {
+        want_site(FaultClause::Site::kJob, "job");
+        MOCA_CHECK_MSG(a.value.empty(), "fault plan clause '"
+                                            << clause
+                                            << "': hang takes no =value");
+        fc.action = FaultClause::Action::kJobHang;
+      } else if (a.key == "oom") {
+        want_site(FaultClause::Site::kJob, "job");
+        MOCA_CHECK_MSG(a.value.empty(), "fault plan clause '"
+                                            << clause
+                                            << "': oom takes no =value");
+        fc.action = FaultClause::Action::kJobOom;
       } else {
         MOCA_CHECK_MSG(false, "fault plan clause '" << clause
                                                     << "': unknown action '"
@@ -209,13 +241,18 @@ FaultPlan FaultPlan::parse(const std::string& text) {
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
-                             std::uint32_t attempt) {
+                             std::uint32_t attempt, std::uint64_t cell) {
   std::uint64_t index = 0;
   for (const FaultClause& clause : plan.clauses()) {
     ++index;
     // attempts=k clauses are transient: inactive once the supervised retry
     // ordinal reaches k.
     if (clause.attempts != 0 && attempt >= clause.attempts) continue;
+    // cell=n clauses arm only in that sweep cell.
+    if (clause.cell >= 0 &&
+        static_cast<std::uint64_t>(clause.cell) != cell) {
+      continue;
+    }
     // Each stochastic clause gets its own seeded stream, independent of
     // clause order evaluation and of every workload RNG.
     ArmedClause armed{clause, 0,
@@ -315,6 +352,40 @@ void FaultInjector::maybe_fail_job() const {
     if (c.spec.action == FaultClause::Action::kJobFail) {
       throw RetryableError(
           "fault injection: job:fail clause armed for this attempt");
+    }
+    if (c.spec.action == FaultClause::Action::kJobCrash) {
+      // A real SIGSEGV, not an exception: restore the default handler
+      // first so sanitizer runtimes that intercept SIGSEGV cannot turn
+      // this into a report + exit(1) — the parent must observe a
+      // signal-death (WIFSIGNALED) to exercise the crash decode path.
+      std::signal(SIGSEGV, SIG_DFL);
+      std::raise(SIGSEGV);
+    }
+    if (c.spec.action == FaultClause::Action::kJobHang) {
+      // Wedge without ever touching the cooperative cancel flag; only an
+      // external SIGKILL (isolation deadline) ends this process.
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    if (c.spec.action == FaultClause::Action::kJobOom) {
+      // Deterministic memory-exhaustion: leak 64 MiB chunks until
+      // operator new throws (RLIMIT_AS under --isolate) or a ~1 GiB
+      // bound is hit, then raise bad_alloc ourselves so the behaviour is
+      // identical under allocators that never return null (ASan).
+      constexpr std::size_t kChunk = 64ull << 20;
+      constexpr int kMaxChunks = 16;  // ~1 GiB ceiling
+      std::vector<std::unique_ptr<char[]>> sink;
+      for (int i = 0; i < kMaxChunks; ++i) {
+        auto chunk = std::make_unique<char[]>(kChunk);
+        // Touch every page so the allocation is backed, not just mapped.
+        volatile char* bytes = chunk.get();
+        for (std::size_t off = 0; off < kChunk; off += 4096) {
+          bytes[off] = static_cast<char>(i);
+        }
+        sink.push_back(std::move(chunk));
+      }
+      throw std::bad_alloc{};
     }
   }
 }

@@ -27,10 +27,26 @@
 //   trace:truncate=<k>               trace reads at record >= k hit EOF
 //   trace:corrupt=<k>                reading record k throws RetryableError
 //   job:fail                         job throws RetryableError at run start
+//   job:crash                        job dies with a real SIGSEGV at run
+//                                    start (process-isolation testing; in
+//                                    a non-isolated sweep this kills the
+//                                    whole process — that is the point)
+//   job:hang                         job wedges forever at run start,
+//                                    never polling the cooperative cancel
+//                                    flag (only an external SIGKILL ends
+//                                    it)
+//   job:oom                          job exhausts memory at run start: it
+//                                    allocates until the address-space cap
+//                                    (RLIMIT_AS under --isolate) makes
+//                                    operator new throw, then raises
+//                                    std::bad_alloc; address-space growth
+//                                    is bounded to ~1 GiB without a cap
 //
 // Any clause may append `:attempts=<k>` to fire only on the first k
 // attempts of a supervised job (a genuinely transient fault: the retry
-// succeeds). Example: `job:fail:attempts=1;module=RL-256MB:offline@0`.
+// succeeds), and/or `:cell=<n>` to arm only in sweep cell n (cell indices
+// are submission order; non-sweep runs are cell 0). Example:
+// `job:crash:cell=2:attempts=1;module=RL-256MB:offline@0`.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +75,9 @@ struct FaultClause {
     kTruncate,    // trace: reads at record >= `value` behave as EOF
     kCorrupt,     // trace: reading record `value` throws RetryableError
     kJobFail,     // job: RetryableError at run start
+    kJobCrash,    // job: real SIGSEGV at run start (isolation testing)
+    kJobHang,     // job: wedge forever, ignoring cooperative cancel
+    kJobOom,      // job: allocate until bad_alloc at run start
   };
   Site site = Site::kJob;
   Action action = Action::kJobFail;
@@ -67,6 +86,10 @@ struct FaultClause {
   double prob = 0.0;         // probability actions
   TimePs at_ps = 0;          // activation tick for offline/slow
   std::uint32_t attempts = 0;  // 0 = every attempt, else first k only
+  /// Sweep-cell gate: -1 arms in every cell, otherwise only in cell n
+  /// (`cell=<n>` modifier). Lets one plan crash exactly one cell of a
+  /// sweep while every other cell runs clean.
+  std::int64_t cell = -1;
 };
 
 /// Parsed, validated fault plan. Empty by default (no faults).
@@ -96,9 +119,10 @@ class FaultInjector {
  public:
   /// `seed` derives every stochastic fault stream; `attempt` is the
   /// supervised-retry ordinal (0 on the first try) gating `attempts=k`
-  /// clauses.
+  /// clauses; `cell` is the sweep-cell index gating `cell=n` clauses
+  /// (non-sweep runs pass 0).
   FaultInjector(const FaultPlan& plan, std::uint64_t seed,
-                std::uint32_t attempt = 0);
+                std::uint32_t attempt = 0, std::uint64_t cell = 0);
 
   /// Installs the simulated-time source consulted by time-gated clauses
   /// (offline@, slow@). Defaults to a constant 0 (every gate active).
@@ -127,8 +151,10 @@ class FaultInjector {
   /// Trace-read gate for the record at `record_index`.
   [[nodiscard]] TraceFault trace_fault(std::uint64_t record_index) const;
 
-  /// Throws RetryableError when a job:fail clause is armed for this
-  /// attempt; called once at the start of every simulation run.
+  /// Executes whole-job clauses armed for this attempt; called once at the
+  /// start of every simulation run. job:fail throws RetryableError,
+  /// job:oom throws std::bad_alloc after bounded allocation pressure,
+  /// job:crash raises a real SIGSEGV and job:hang never returns.
   void maybe_fail_job() const;
 
   struct Counters {

@@ -1,4 +1,4 @@
-// Analytical cross-check of run results and their schema-v3 reports.
+// Analytical cross-check of run results and their schema-v4 reports.
 //
 // StatCheck re-derives every derived metric a report carries from the raw
 // event counts it also carries — LLC MPKI and ROB-head stall per load miss

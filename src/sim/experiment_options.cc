@@ -17,7 +17,8 @@ const std::vector<FlagSpec>& shared_flags() {
       {"trace-out", true}, {"jobs", true}, {"log", false},
       {"fault-plan", true}, {"timeout-ms", true}, {"retries", true},
       {"journal", true}, {"resume", true}, {"audit", false},
-      {"adaptive", true},
+      {"adaptive", true}, {"isolate", false}, {"rlimit-as-mb", true},
+      {"rlimit-cpu-s", true},
   };
   return kShared;
 }
@@ -126,6 +127,20 @@ ExperimentOptions ExperimentOptions::from_env() {
     options.supervisor.max_attempts = static_cast<std::uint32_t>(*v);
     options.supervised = true;
   }
+  if (std::getenv("MOCA_SIM_ISOLATE") != nullptr) {
+    options.supervisor.isolate = true;
+    options.supervised = true;
+  }
+  if (const auto v = env_u64("MOCA_SIM_RLIMIT_AS_MB")) {
+    options.supervisor.rlimit_as_bytes = *v << 20;
+    options.supervisor.isolate = true;
+    options.supervised = true;
+  }
+  if (const auto v = env_u64("MOCA_SIM_RLIMIT_CPU_S")) {
+    options.supervisor.rlimit_cpu_seconds = *v;
+    options.supervisor.isolate = true;
+    options.supervised = true;
+  }
   if (std::getenv("MOCA_SIM_AUDIT") != nullptr) {
     options.experiment.observability.audit = true;
   }
@@ -188,6 +203,24 @@ void ExperimentOptions::apply_flags(const ParsedArgs& args) {
     MOCA_CHECK_MSG(!supervisor.journal_path.empty(),
                    "flag --resume needs a file path");
     supervisor.resume = true;
+    supervised = true;
+  }
+  if (args.has("isolate")) {
+    supervisor.isolate = true;
+    supervised = true;
+  }
+  if (args.has("rlimit-as-mb")) {
+    const std::uint64_t value = args.get_u64("rlimit-as-mb", 0);
+    MOCA_CHECK_MSG(value > 0, "flag --rlimit-as-mb must be positive");
+    supervisor.rlimit_as_bytes = value << 20;
+    supervisor.isolate = true;  // caps imply isolation
+    supervised = true;
+  }
+  if (args.has("rlimit-cpu-s")) {
+    const std::uint64_t value = args.get_u64("rlimit-cpu-s", 0);
+    MOCA_CHECK_MSG(value > 0, "flag --rlimit-cpu-s must be positive");
+    supervisor.rlimit_cpu_seconds = value;
+    supervisor.isolate = true;
     supervised = true;
   }
   if (args.has("audit")) experiment.observability.audit = true;

@@ -26,6 +26,13 @@
 //   --journal F     (flag only)        supervised-sweep resume journal
 //   --resume F      (flag only)        resume from journal F (implies
 //                                      --journal F)
+//   --isolate       MOCA_SIM_ISOLATE   run each sweep cell in a forked
+//                                      child (crash containment, hard
+//                                      deadlines; docs/robustness.md)
+//   --rlimit-as-mb N  MOCA_SIM_RLIMIT_AS_MB  RLIMIT_AS cap per isolated
+//                                      child, MiB (implies --isolate)
+//   --rlimit-cpu-s N  MOCA_SIM_RLIMIT_CPU_S  RLIMIT_CPU cap per isolated
+//                                      child, seconds (implies --isolate)
 //   --audit         MOCA_SIM_AUDIT     epoch-driven invariant auditor
 //   --adaptive S    MOCA_SIM_ADAPTIVE  phase-adaptive reclassification
 //                                      engine: on|off|key=value,...

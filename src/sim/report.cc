@@ -125,6 +125,14 @@ void write_outcome(JsonWriter& w, const SweepOutcome& o, bool host_stats) {
   w.key("ok").value(o.ok);
   w.key("kind").value(to_string(o.kind));
   w.key("attempts").value(static_cast<std::uint64_t>(o.attempts));
+  // Crash fingerprint (schema v4, additive): present only when a child
+  // process died by signal, so non-isolated reports are unchanged.
+  if (o.crash_signal != 0) {
+    w.key("crash").begin_object();
+    w.key("signal").value(static_cast<std::int64_t>(o.crash_signal));
+    w.key("phase").value(o.crash_phase);
+    w.end_object();
+  }
   if (host_stats) {
     w.key("wall_ms").value(o.wall_ms);
     w.key("sim_instr_per_sec").value(o.sim_instr_per_sec);
@@ -168,11 +176,13 @@ std::string to_deterministic_json(const SweepOutcome& outcome) {
   return w.str();
 }
 
-std::string sweep_report_json(const std::vector<std::string>& outcome_jsons) {
+std::string sweep_report_json(const std::vector<std::string>& outcome_jsons,
+                              bool interrupted) {
   // Spliced by hand: resume merges journal entries verbatim, and JsonWriter
   // has no raw-injection mode.
   std::string out = "{\"schema_version\":";
   out += std::to_string(kReportSchemaVersion);
+  if (interrupted) out += ",\"interrupted\":true";
   out += ",\"outcomes\":[";
   for (std::size_t i = 0; i < outcome_jsons.size(); ++i) {
     if (i > 0) out += ',';

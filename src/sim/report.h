@@ -18,9 +18,14 @@ namespace moca::sim {
 ///   3 — adds the typed "kind" + "attempts" failure fields to sweep
 ///       outcomes and the supervisor's sweep-report/journal envelopes
 ///       (docs/robustness.md)
+///   4 — process-isolated sweeps: new failure kinds "crashed",
+///       "oom_killed" and "interrupted"; the optional per-outcome "crash"
+///       fingerprint block {"signal":N,"phase":"..."}; the optional sweep
+///       envelope flag "interrupted":true on partial reports flushed by a
+///       SIGINT/SIGTERM handler (docs/robustness.md)
 /// Consumers should accept unknown keys; bumps are additive-only unless a
 /// key's meaning changes.
-inline constexpr std::uint64_t kReportSchemaVersion = 3;
+inline constexpr std::uint64_t kReportSchemaVersion = 4;
 
 /// Serializes a RunResult as a JSON document (per-core, per-module and
 /// aggregate metrics; migration stats when the daemon ran; adaptive
@@ -45,10 +50,11 @@ inline constexpr std::uint64_t kReportSchemaVersion = 3;
 [[nodiscard]] std::string to_deterministic_json(const SweepOutcome& outcome);
 
 /// Assembles the supervisor's sweep report envelope,
-/// {"schema_version":N,"outcomes":[...]}, from already-serialized outcome
-/// objects (freshly produced by to_deterministic_json or spliced verbatim
-/// from a resume journal).
+/// {"schema_version":N[,"interrupted":true],"outcomes":[...]}, from
+/// already-serialized outcome objects (freshly produced by
+/// to_deterministic_json or spliced verbatim from a resume journal).
+/// `interrupted` marks a partial report flushed by a signal handler.
 [[nodiscard]] std::string sweep_report_json(
-    const std::vector<std::string>& outcome_jsons);
+    const std::vector<std::string>& outcome_jsons, bool interrupted = false);
 
 }  // namespace moca::sim

@@ -126,7 +126,9 @@ RunResult run_workload(const std::vector<std::string>& app_names,
   options.faults = experiment.faults;
   options.fault_seed = experiment.ref_seed;
   options.fault_attempt = experiment.fault_attempt;
+  options.fault_cell = experiment.fault_cell;
   options.cancel = experiment.cancel;
+  options.heartbeat = experiment.heartbeat;
 
   std::vector<AppInstance> instances;
   for (std::size_t i = 0; i < app_names.size(); ++i) {
@@ -164,7 +166,9 @@ RunResult run_workload_with_migration(
   options.faults = experiment.faults;
   options.fault_seed = experiment.ref_seed;
   options.fault_attempt = experiment.fault_attempt;
+  options.fault_cell = experiment.fault_cell;
   options.cancel = experiment.cancel;
+  options.heartbeat = experiment.heartbeat;
 
   std::vector<AppInstance> instances;
   for (std::size_t i = 0; i < app_names.size(); ++i) {

@@ -63,10 +63,17 @@ struct Experiment {
   /// Supervised-retry ordinal (0 = first try) gating `attempts=k` fault
   /// clauses; set per attempt by the sweep supervisor.
   std::uint32_t fault_attempt = 0;
+  /// Sweep-cell index gating `cell=n` fault clauses; set by the sweep
+  /// runner / supervisor (non-sweep runs stay at 0).
+  std::uint64_t fault_cell = 0;
   /// Cooperative cancellation flag polled inside System::run; when it
   /// becomes true the run throws CancelledError. Null = never cancelled.
   /// Set by the supervisor's per-job watchdog, not by end users.
   const std::atomic<bool>* cancel = nullptr;
+  /// Liveness heartbeat bumped at the same poll cadence as `cancel`; an
+  /// isolated child points this into a shared page so the parent can tell
+  /// "slow" from "wedged". Null = no heartbeat.
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
 
   /// Warm-up used by the runner: a quarter of the measured window, clamped
   /// to [20K, 250K] instructions — enough to fill the caches' resident

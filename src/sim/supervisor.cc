@@ -1,8 +1,14 @@
 #include "sim/supervisor.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <mutex>
@@ -12,6 +18,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "sim/isolation.h"
 #include "sim/report.h"
 #include "sim/runner.h"
 
@@ -77,9 +84,13 @@ bool extract_token(const std::string& json, const std::string& key,
 /// each job's cancellation flag (the simulation notices at its next
 /// cooperative poll). One watchdog serves every concurrent worker: arm()
 /// and disarm() are O(armed jobs), which is bounded by the pool size.
+/// When an interrupt flag is configured the loop also polls it and fires
+/// every armed entry the moment it goes true, so a SIGINT cancels running
+/// cells instead of waiting out their deadlines.
 class SweepSupervisor::Watchdog {
  public:
-  Watchdog() : thread_([this] { loop(); }) {}
+  explicit Watchdog(const std::atomic<bool>* interrupt = nullptr)
+      : interrupt_(interrupt), thread_([this] { loop(); }) {}
 
   ~Watchdog() {
     {
@@ -90,11 +101,14 @@ class SweepSupervisor::Watchdog {
     thread_.join();
   }
 
+  /// timeout_ms <= 0 arms with no deadline (interrupt-fire only).
   [[nodiscard]] std::uint64_t arm(std::atomic<bool>* flag, double timeout_ms) {
     const auto deadline =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double, std::milli>(
-                               timeout_ms));
+        timeout_ms <= 0.0
+            ? Clock::time_point::max()
+            : Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     timeout_ms));
     std::uint64_t id = 0;
     {
       std::lock_guard lock(mutex_);
@@ -128,9 +142,12 @@ class SweepSupervisor::Watchdog {
     for (;;) {
       if (stop_) return;
       const auto now = Clock::now();
+      const bool interrupted =
+          interrupt_ != nullptr &&
+          interrupt_->load(std::memory_order_relaxed);
       Clock::time_point earliest = Clock::time_point::max();
       for (std::size_t i = 0; i < entries_.size();) {
-        if (entries_[i].deadline <= now) {
+        if (interrupted || entries_[i].deadline <= now) {
           entries_[i].flag->store(true, std::memory_order_relaxed);
           entries_[i] = entries_.back();
           entries_.pop_back();
@@ -139,7 +156,13 @@ class SweepSupervisor::Watchdog {
           ++i;
         }
       }
-      if (entries_.empty()) {
+      // With an interrupt flag to poll, never sleep longer than its poll
+      // granularity; without one, sleep until the earliest deadline.
+      if (interrupt_ != nullptr) {
+        earliest = std::min(earliest,
+                            now + std::chrono::milliseconds(50));
+      }
+      if (entries_.empty() && interrupt_ == nullptr) {
         cv_.wait(lock);
       } else {
         cv_.wait_until(lock, earliest);
@@ -147,6 +170,7 @@ class SweepSupervisor::Watchdog {
     }
   }
 
+  const std::atomic<bool>* interrupt_ = nullptr;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Entry> entries_;
@@ -199,7 +223,20 @@ SweepSupervisor::SweepSupervisor(SweepRunner& runner,
   MOCA_CHECK_MSG(!options_.resume || !options_.journal_path.empty(),
                  "supervisor: resume requires a journal path");
   if (options_.max_attempts == 0) options_.max_attempts = 1;
-  if (options_.timeout_ms > 0.0) watchdog_ = std::make_unique<Watchdog>();
+  if (options_.isolate) {
+    // Isolated cells are supervised by the parent's poll loop (deadline +
+    // interrupt both handled in run_isolated), so no watchdog thread. The
+    // CPU rlimit defaults to a generous multiple of the wall deadline as
+    // a backstop against a child that wedges while burning CPU faster
+    // than wall time (the wall SIGKILL normally fires first).
+    if (options_.rlimit_cpu_seconds == 0 && options_.timeout_ms > 0.0) {
+      options_.rlimit_cpu_seconds =
+          static_cast<std::uint64_t>(std::ceil(options_.timeout_ms / 250.0)) +
+          5;
+    }
+  } else if (options_.timeout_ms > 0.0 || options_.interrupt != nullptr) {
+    watchdog_ = std::make_unique<Watchdog>(options_.interrupt);
+  }
 }
 
 SweepSupervisor::~SweepSupervisor() = default;
@@ -207,7 +244,8 @@ SweepSupervisor::~SweepSupervisor() = default;
 void SweepSupervisor::load_journal(std::size_t job_count,
                                    std::vector<std::string>& cached,
                                    std::vector<SweepOutcome>& outcomes,
-                                   std::size_t& resumed) const {
+                                   std::size_t& resumed,
+                                   std::size_t& torn) const {
   std::ifstream in(options_.journal_path);
   if (!in.is_open()) return;  // first run: nothing to resume yet
   std::vector<std::string> lines;
@@ -258,7 +296,12 @@ void SweepSupervisor::load_journal(std::size_t job_count,
       }
     }
     if (!well_formed) {
-      if (last) break;  // torn tail from the crash; re-run that cell
+      if (last) {
+        // Torn tail from the crash (the append was cut mid-write); count
+        // it so callers can report the recovery, and re-run that cell.
+        ++torn;
+        break;
+      }
       MOCA_CHECK_MSG(false, "supervisor: corrupt journal line "
                                 << (i + 1) << " in '"
                                 << options_.journal_path << "'");
@@ -288,6 +331,12 @@ void SweepSupervisor::load_journal(std::size_t job_count,
         out.kind = SweepOutcome::FailureKind::kTimedOut;
       else if (token == "quarantined")
         out.kind = SweepOutcome::FailureKind::kQuarantined;
+      else if (token == "crashed")
+        out.kind = SweepOutcome::FailureKind::kCrashed;
+      else if (token == "oom_killed")
+        out.kind = SweepOutcome::FailureKind::kOomKilled;
+      else if (token == "interrupted")
+        out.kind = SweepOutcome::FailureKind::kInterrupted;
       else
         out.kind = SweepOutcome::FailureKind::kNone;
     }
@@ -304,10 +353,21 @@ SweepOutcome SweepSupervisor::supervise_cell(
   out.job_id = cell;
   out.label = job.label;
   const double start = now_ms();
+  const auto interrupted = [this] {
+    return options_.interrupt != nullptr &&
+           options_.interrupt->load(std::memory_order_relaxed);
+  };
   std::uint32_t attempt = 0;
   for (;;) {
+    if (interrupted()) {
+      out.ok = false;
+      out.kind = SweepOutcome::FailureKind::kInterrupted;
+      out.error = "sweep interrupted";
+      break;
+    }
     Experiment experiment = job.experiment;
     experiment.fault_attempt = attempt;
+    experiment.fault_cell = cell;
     std::atomic<bool> cancel{false};
     std::uint64_t token = 0;
     if (watchdog_ != nullptr) {
@@ -322,10 +382,17 @@ SweepOutcome SweepSupervisor::supervise_cell(
       out.error.clear();
       break;
     } catch (const CancelledError& e) {
-      // Timeouts never retry: a wedged configuration wedges every attempt
-      // and the budget is better spent on the remaining cells.
       if (token != 0) watchdog_->disarm(token);
       out.ok = false;
+      if (interrupted()) {
+        // The watchdog fired because the sweep is being stopped, not
+        // because this cell overran its budget.
+        out.kind = SweepOutcome::FailureKind::kInterrupted;
+        out.error = "sweep interrupted";
+        break;
+      }
+      // Timeouts never retry: a wedged configuration wedges every attempt
+      // and the budget is better spent on the remaining cells.
       out.kind = SweepOutcome::FailureKind::kTimedOut;
       out.error = e.what();
       break;
@@ -363,6 +430,170 @@ SweepOutcome SweepSupervisor::supervise_cell(
   return out;
 }
 
+SweepOutcome SweepSupervisor::supervise_cell_isolated(
+    std::size_t cell, const SweepJob& job,
+    const std::map<std::string, core::ClassifiedApp>& db,
+    std::string& outcome_json) {
+  SweepOutcome out;
+  out.job_id = cell;
+  out.label = job.label;
+  const double start = now_ms();
+  const auto interrupted = [this] {
+    return options_.interrupt != nullptr &&
+           options_.interrupt->load(std::memory_order_relaxed);
+  };
+
+  IsolationLimits limits;
+  limits.deadline_ms = options_.timeout_ms;
+  limits.rlimit_as_bytes = options_.rlimit_as_bytes;
+  limits.rlimit_cpu_seconds = options_.rlimit_cpu_seconds;
+
+  std::uint32_t attempt = 0;
+  std::string delivered_json;  // verbatim child serialization when ok
+  for (;;) {
+    if (interrupted()) {
+      out.ok = false;
+      out.kind = SweepOutcome::FailureKind::kInterrupted;
+      out.error = "sweep interrupted";
+      break;
+    }
+
+    const ChildOutcome child = run_isolated(
+        limits, options_.interrupt, [&](Heartbeat& heartbeat) {
+          // Child side. The frame's outcome JSON is the child's own
+          // deterministic serialization of a finished cell, so the parent
+          // can splice it verbatim — the merge stays byte-identical to
+          // in-process execution by construction.
+          heartbeat.set_phase(ChildPhase::kRunning);
+          ChildFrame frame;
+          Experiment experiment = job.experiment;
+          experiment.fault_attempt = attempt;
+          experiment.fault_cell = cell;
+          experiment.heartbeat = heartbeat.beats();
+          try {
+            SweepOutcome child_out;
+            child_out.job_id = cell;
+            child_out.label = job.label;
+            child_out.result =
+                run_workload(job.apps, job.choice, db, experiment);
+            child_out.ok = true;
+            child_out.kind = SweepOutcome::FailureKind::kNone;
+            child_out.attempts = attempt + 1;
+            heartbeat.set_phase(ChildPhase::kReporting);
+            frame.kind = ChildFrame::Kind::kOk;
+            frame.outcome_json = to_deterministic_json(child_out);
+            frame.total_instructions = child_out.result.total_instructions;
+          } catch (const CancelledError& e) {
+            frame.kind = ChildFrame::Kind::kCancelled;
+            frame.error = e.what();
+          } catch (const RetryableError& e) {
+            frame.kind = ChildFrame::Kind::kRetryable;
+            frame.error = e.what();
+          }
+          // bad_alloc / other exceptions are classified by child_main.
+          return frame;
+        });
+
+    // Decode ladder (docs/robustness.md has the user-facing table).
+    bool retry = false;
+    switch (child.status) {
+      case ChildOutcome::Status::kDelivered:
+        switch (child.frame.kind) {
+          case ChildFrame::Kind::kOk:
+            out.ok = true;
+            out.kind = SweepOutcome::FailureKind::kNone;
+            out.error.clear();
+            out.result.total_instructions = child.frame.total_instructions;
+            delivered_json = child.frame.outcome_json;
+            break;
+          case ChildFrame::Kind::kRetryable:
+            out.ok = false;
+            out.kind = SweepOutcome::FailureKind::kQuarantined;
+            out.error = child.frame.error;
+            retry = true;
+            break;
+          case ChildFrame::Kind::kCancelled:
+            out.ok = false;
+            out.kind = SweepOutcome::FailureKind::kTimedOut;
+            out.error = child.frame.error;
+            break;
+          case ChildFrame::Kind::kOom:
+            // The cap was hit cleanly (allocator threw before the kernel
+            // had to step in). Transient by the same logic as a crash:
+            // attempts=k fault clauses model recoverable pressure.
+            out.ok = false;
+            out.kind = SweepOutcome::FailureKind::kOomKilled;
+            out.error = child.frame.error;
+            retry = true;
+            break;
+          case ChildFrame::Kind::kFailed:
+            out.ok = false;
+            out.kind = SweepOutcome::FailureKind::kFailed;
+            out.error = child.frame.error;
+            break;
+        }
+        break;
+      case ChildOutcome::Status::kCrashed:
+        out.ok = false;
+        // An un-asked-for SIGKILL is the kernel OOM killer's signature
+        // (the parent only SIGKILLs for deadline/interrupt, decoded
+        // separately); everything else is a crash.
+        out.kind = child.signal == SIGKILL
+                       ? SweepOutcome::FailureKind::kOomKilled
+                       : SweepOutcome::FailureKind::kCrashed;
+        out.crash_signal = child.signal;
+        out.crash_phase = to_string(child.last_phase);
+        out.error = "isolated child died with signal " +
+                    std::to_string(child.signal) + " in phase " +
+                    out.crash_phase;
+        retry = true;
+        break;
+      case ChildOutcome::Status::kDeadline:
+        // Deadlines never retry, same policy as cooperative timeouts.
+        // Static text: no wall-clock values, so the outcome bytes stay
+        // deterministic.
+        out.ok = false;
+        out.kind = SweepOutcome::FailureKind::kTimedOut;
+        out.error = "isolated child exceeded its wall-clock deadline "
+                    "(SIGKILL)";
+        break;
+      case ChildOutcome::Status::kInterrupted:
+        out.ok = false;
+        out.kind = SweepOutcome::FailureKind::kInterrupted;
+        out.error = "sweep interrupted";
+        break;
+      case ChildOutcome::Status::kExited:
+        out.ok = false;
+        out.kind = SweepOutcome::FailureKind::kFailed;
+        out.error = "isolated child exited with code " +
+                    std::to_string(child.exit_code) +
+                    " without a result frame";
+        break;
+    }
+    if (out.ok || !retry) break;
+    if (attempt + 1 >= options_.max_attempts) break;  // kind already final
+    if (options_.backoff_ms > 0.0) {
+      const double delay = options_.backoff_ms *
+                           static_cast<double>(std::uint64_t{1} << attempt);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+    }
+    ++attempt;
+  }
+  out.attempts = attempt + 1;
+  out.wall_ms = now_ms() - start;
+  if (out.ok && out.wall_ms > 0.0) {
+    out.sim_instr_per_sec =
+        static_cast<double>(out.result.total_instructions) /
+        (out.wall_ms * 1e-3);
+  }
+  // Hand run() the child's verbatim serialization for ok cells (the full
+  // RunResult never crossed the pipe, so the parent could not re-produce
+  // those bytes itself); failures are serialized parent-side.
+  outcome_json = out.ok ? delivered_json : std::string();
+  return out;
+}
+
 SweepSupervisor::Result SweepSupervisor::run(
     const std::vector<SweepJob>& jobs,
     const std::map<std::string, core::ClassifiedApp>& db) {
@@ -373,18 +604,23 @@ SweepSupervisor::Result SweepSupervisor::run(
   std::vector<std::string> cached(jobs.size());
   if (options_.resume) {
     load_journal(jobs.size(), cached, result.outcomes,
-                 result.resumed_cells);
+                 result.resumed_cells, result.torn_journal_lines);
   }
 
-  std::ofstream journal;
+  // POSIX fd rather than an ofstream: durability requires fsync after
+  // every line (a cell is only "done" once its journal entry would
+  // survive a host crash), and only the fd API exposes that.
+  int journal_fd = -1;
   std::mutex journal_mutex;
   if (!options_.journal_path.empty()) {
     // Fresh sweeps truncate so stale cells from an unrelated earlier run
     // can never leak into a later resume; resumes append.
-    journal.open(options_.journal_path,
-                 options_.resume ? std::ios::app : std::ios::trunc);
-    MOCA_CHECK_MSG(journal.is_open(), "supervisor: cannot open journal '"
-                                          << options_.journal_path << "'");
+    journal_fd = ::open(options_.journal_path.c_str(),
+                        O_WRONLY | O_CREAT |
+                            (options_.resume ? O_APPEND : O_TRUNC),
+                        0644);
+    MOCA_CHECK_MSG(journal_fd >= 0, "supervisor: cannot open journal '"
+                                        << options_.journal_path << "'");
   }
 
   std::vector<std::size_t> pending;
@@ -395,20 +631,53 @@ SweepSupervisor::Result SweepSupervisor::run(
 
   runner_.for_each_index(pending.size(), [&](std::size_t slot) {
     const std::size_t cell = pending[slot];
-    SweepOutcome out = supervise_cell(cell, jobs[cell], db);
-    const std::string json = to_deterministic_json(out);
-    if (journal.is_open()) {
-      // One flushed line per cell: after a kill, everything before the
-      // (possibly torn) final line is recoverable.
+    std::string json;
+    SweepOutcome out;
+    if (options_.isolate) {
+      out = supervise_cell_isolated(cell, jobs[cell], db, json);
+    } else {
+      out = supervise_cell(cell, jobs[cell], db);
+    }
+    if (json.empty()) json = to_deterministic_json(out);
+    // Interrupted cells are never journaled: they produced no result, and
+    // resume must re-run them for the merged report to reach the
+    // uninterrupted run's bytes.
+    const bool journal_it =
+        journal_fd >= 0 &&
+        out.kind != SweepOutcome::FailureKind::kInterrupted;
+    if (journal_it) {
+      // One fsynced line per cell: after a kill -9 or power loss,
+      // everything before the (possibly torn) final line is recoverable.
+      const std::string line =
+          journal_line(fingerprint_, cell, json) + '\n';
       std::lock_guard lock(journal_mutex);
-      journal << journal_line(fingerprint_, cell, json) << '\n'
-              << std::flush;
+      std::size_t done = 0;
+      while (done < line.size()) {
+        const ssize_t n =
+            ::write(journal_fd, line.data() + done, line.size() - done);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          MOCA_CHECK_MSG(false, "supervisor: journal write failed ('"
+                                    << options_.journal_path << "')");
+        }
+        done += static_cast<std::size_t>(n);
+      }
+      ::fsync(journal_fd);
     }
     cached[cell] = json;                    // distinct cells, no race
     result.outcomes[cell] = std::move(out);
   });
 
-  result.report = sweep_report_json(cached);
+  if (journal_fd >= 0) ::close(journal_fd);
+
+  for (const SweepOutcome& out : result.outcomes) {
+    if (out.kind == SweepOutcome::FailureKind::kInterrupted) {
+      result.interrupted = true;
+      break;
+    }
+  }
+  result.report = sweep_report_json(cached, result.interrupted);
+  result.outcome_jsons = std::move(cached);
   return result;
 }
 

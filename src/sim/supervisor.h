@@ -16,10 +16,22 @@
 //               clauses model genuinely transient faults. A cell whose
 //               retries are exhausted is quarantined, not retried forever.
 //   journal     every finished cell appends one line to an append-only
-//               journal and flushes before the next cell can complete; a
+//               journal and fsyncs before the cell counts as durable; a
 //               killed sweep restarted with resume=true re-runs only the
 //               cells missing from the journal and splices the finished
-//               ones back in, byte-identical to an uninterrupted run.
+//               ones back in, byte-identical to an uninterrupted run. A
+//               torn final line (kill mid-append) is tolerated and counted.
+//   isolation   with isolate=true each cell runs in a forked child under
+//               RLIMIT_AS/RLIMIT_CPU caps (src/sim/isolation.h); the
+//               parent enforces the wall-clock deadline by SIGKILL and
+//               decodes child deaths into kCrashed (signal + heartbeat
+//               phase fingerprint) / kOomKilled, so a SIGSEGV or an OOM
+//               kill costs one cell, not the sweep.
+//   interrupt   an optional interrupt flag (SIGINT/SIGTERM handler in the
+//               CLI) stops the sweep gracefully: running cells are
+//               cancelled/SIGKILLed, unfinished cells are marked
+//               kInterrupted and kept out of the journal, and the partial
+//               report is flagged "interrupted" so resume re-runs them.
 //
 // Everything that lands in the journal or the merged report is produced by
 // sim::to_deterministic_json, so the report bytes depend only on simulated
@@ -27,6 +39,7 @@
 // (docs/robustness.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -53,6 +66,19 @@ struct SupervisorOptions {
   /// Load finished cells from journal_path before running (crash
   /// recovery). Requires journal_path.
   bool resume = false;
+  /// Run every cell in a forked child process (crash containment; POSIX
+  /// only). timeout_ms becomes a hard parent-side SIGKILL deadline.
+  bool isolate = false;
+  /// RLIMIT_AS cap applied inside each isolated child; 0 = unlimited.
+  std::uint64_t rlimit_as_bytes = 0;
+  /// RLIMIT_CPU cap (seconds) applied inside each isolated child; 0
+  /// derives a backstop from timeout_ms (the wall deadline is primary).
+  std::uint64_t rlimit_cpu_seconds = 0;
+  /// Graceful-stop flag (typically set by a SIGINT/SIGTERM handler).
+  /// When it becomes true, running cells are cancelled (in-process) or
+  /// SIGKILLed (isolated) and every unfinished cell is reported as
+  /// kInterrupted without being journaled. Null = never interrupted.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// Drives supervised jobs over a SweepRunner pool. The runner reference
@@ -70,17 +96,29 @@ class SweepSupervisor {
     /// fields (job_id, label, ok, kind, attempts; resumed == true).
     std::vector<SweepOutcome> outcomes;
     /// Deterministic merged sweep report,
-    /// {"schema_version":3,"outcomes":[...]}: byte-identical for any
-    /// worker count and for any kill/resume split of the same sweep.
+    /// {"schema_version":N,"outcomes":[...]}: byte-identical for any
+    /// worker count, for any kill/resume split of the same sweep, and for
+    /// isolated vs in-process execution of every surviving cell.
     std::string report;
+    /// Per-cell deterministic outcome JSON, in submission order (the
+    /// report's "outcomes" elements; exposed so callers can compare
+    /// surviving cells independently of a failed one).
+    std::vector<std::string> outcome_jsons;
     /// Cells recovered from the journal instead of re-run.
     std::size_t resumed_cells = 0;
+    /// Torn trailing journal lines tolerated during resume (0 or 1: a
+    /// crash can only ever tear the final append).
+    std::size_t torn_journal_lines = 0;
+    /// True when the interrupt flag stopped the sweep early; the report
+    /// carries "interrupted":true and kInterrupted cells then.
+    bool interrupted = false;
   };
 
   /// Runs (or resumes) the sweep. Throws CheckError when the journal is
   /// unusable: a corrupt non-final line, a cell index out of range, or a
   /// fingerprint recorded for a different sweep definition. A partial
-  /// final line (the crash happened mid-write) is discarded silently.
+  /// final line (the crash happened mid-write) is tolerated, counted in
+  /// Result::torn_journal_lines, and that cell is re-run.
   [[nodiscard]] Result run(
       const std::vector<SweepJob>& jobs,
       const std::map<std::string, core::ClassifiedApp>& db);
@@ -91,10 +129,17 @@ class SweepSupervisor {
   [[nodiscard]] SweepOutcome supervise_cell(
       std::size_t cell, const SweepJob& job,
       const std::map<std::string, core::ClassifiedApp>& db);
+  /// Isolated variant: `outcome_json` receives the child's verbatim
+  /// deterministic serialization for ok cells (empty on failure — the
+  /// caller serializes the parent-constructed failure outcome itself).
+  [[nodiscard]] SweepOutcome supervise_cell_isolated(
+      std::size_t cell, const SweepJob& job,
+      const std::map<std::string, core::ClassifiedApp>& db,
+      std::string& outcome_json);
   void load_journal(std::size_t job_count,
                     std::vector<std::string>& cached,
                     std::vector<SweepOutcome>& outcomes,
-                    std::size_t& resumed) const;
+                    std::size_t& resumed, std::size_t& torn) const;
 
   SweepRunner& runner_;
   SupervisorOptions options_;

@@ -38,6 +38,12 @@ std::string to_string(SweepOutcome::FailureKind kind) {
       return "timed_out";
     case SweepOutcome::FailureKind::kQuarantined:
       return "quarantined";
+    case SweepOutcome::FailureKind::kCrashed:
+      return "crashed";
+    case SweepOutcome::FailureKind::kOomKilled:
+      return "oom_killed";
+    case SweepOutcome::FailureKind::kInterrupted:
+      return "interrupted";
   }
   MOCA_CHECK_MSG(false, "unknown FailureKind");
   return {};
@@ -122,7 +128,10 @@ std::vector<SweepOutcome> SweepRunner::run(
   std::mutex log_mutex;
 
   for_each_index(jobs.size(), [&](std::size_t i) {
-    const SweepJob& job = jobs[i];
+    SweepJob job = jobs[i];
+    // Arm cell=n fault clauses against the submission index, matching the
+    // supervisor's isolated path.
+    job.experiment.fault_cell = i;
     SweepOutcome& out = outcomes[i];
     out.job_id = i;
     out.label = job.label;

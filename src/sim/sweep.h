@@ -39,12 +39,18 @@ struct SweepOutcome {
   /// Typed failure classification (docs/robustness.md). kNone for ok
   /// outcomes; the plain SweepRunner only produces kFailed, the
   /// SweepSupervisor adds kTimedOut (wall-clock watchdog fired) and
-  /// kQuarantined (retryable error outlived the retry budget).
+  /// kQuarantined (retryable error outlived the retry budget), and its
+  /// process-isolated mode adds kCrashed (child died by signal),
+  /// kOomKilled (child exhausted its memory cap) and kInterrupted (the
+  /// sweep was stopped by SIGINT/SIGTERM before this cell could finish).
   enum class FailureKind : std::uint8_t {
     kNone,
     kFailed,
     kTimedOut,
     kQuarantined,
+    kCrashed,
+    kOomKilled,
+    kInterrupted,
   };
 
   std::size_t job_id = 0;  // index into the submitted job list
@@ -54,6 +60,12 @@ struct SweepOutcome {
   /// Attempts consumed (>= 2 only when the supervisor retried the job).
   std::uint32_t attempts = 1;
   std::string error;  // what() of the captured exception when !ok
+  /// Crash fingerprint, populated only for kCrashed (and kOomKilled when
+  /// the kernel's OOM killer delivered a signal): the terminating signal
+  /// number plus the child's last heartbeat phase ("spawned", "running",
+  /// "reporting", "done"). Deterministic for injected crashes.
+  int crash_signal = 0;
+  std::string crash_phase;
   /// Valid only when ok. Includes the job's observability payload
   /// (epoch time-series + trace events) when the experiment enabled it;
   /// like every simulated metric it is byte-identical for any worker
@@ -71,7 +83,7 @@ struct SweepOutcome {
 };
 
 /// Journal/report spelling of a FailureKind ("none", "failed",
-/// "timed_out", "quarantined").
+/// "timed_out", "quarantined", "crashed", "oom_killed", "interrupted").
 [[nodiscard]] std::string to_string(SweepOutcome::FailureKind kind);
 
 /// Fixed-size worker pool executing sweep jobs concurrently.

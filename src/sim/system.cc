@@ -40,7 +40,8 @@ System::System(const MemSystemConfig& memsys,
 
   if (!options_.faults.empty()) {
     injector_ = std::make_unique<FaultInjector>(
-        options_.faults, options_.fault_seed, options_.fault_attempt);
+        options_.faults, options_.fault_seed, options_.fault_attempt,
+        options_.fault_cell);
     injector_->set_clock([this] { return events_.now(); });
   }
 
@@ -386,14 +387,20 @@ RunResult System::run() {
       }
     }
     while (!running.empty()) {
-      // Cooperative cancellation (supervised wall-clock timeout). The mask
-      // keeps the poll off the per-cycle fast path; 4096 cycles is ~1.3 us
-      // simulated, far below any meaningful timeout granularity.
-      if (options_.cancel != nullptr && (cycle & 4095) == 0 &&
-          options_.cancel->load(std::memory_order_relaxed)) {
-        throw CancelledError("simulation cancelled at cycle " +
-                             std::to_string(cycle) +
-                             " (supervised timeout)");
+      // Cooperative cancellation + liveness heartbeat (supervised
+      // wall-clock timeout / process isolation). The mask keeps both off
+      // the per-cycle fast path; 4096 cycles is ~1.3 us simulated, far
+      // below any meaningful timeout granularity.
+      if ((cycle & 4095) == 0) {
+        if (options_.heartbeat != nullptr) {
+          options_.heartbeat->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed)) {
+          throw CancelledError("simulation cancelled at cycle " +
+                               std::to_string(cycle) +
+                               " (supervised timeout)");
+        }
       }
       events_.run_until(cycle_to_ps(cycle));
       for (std::size_t r = 0; r < running.size();) {

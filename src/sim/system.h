@@ -63,9 +63,14 @@ struct SystemOptions {
   /// `attempts=k` clauses.
   std::uint64_t fault_seed = 0;
   std::uint32_t fault_attempt = 0;
+  /// Sweep-cell index gating `cell=n` fault clauses (0 outside sweeps).
+  std::uint64_t fault_cell = 0;
   /// Cooperative cancellation flag: run() polls it and throws
   /// CancelledError once it is true. Null = never cancelled.
   const std::atomic<bool>* cancel = nullptr;
+  /// Liveness heartbeat: run() bumps it at the cancel-poll cadence so an
+  /// isolating parent can distinguish progress from a wedge. Null = none.
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
 };
 
 /// One application bound to one core.

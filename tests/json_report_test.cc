@@ -106,12 +106,12 @@ TEST(Report, SchemaVersionLeadsEverySerialization) {
       sim::run_single("gcc", sim::SystemChoice::kHomogenDdr3, db, e);
   // First key of the run-result object, so consumers can dispatch on it
   // before reading anything else.
-  EXPECT_EQ(sim::to_json(r).rfind("{\"schema_version\":3,", 0), 0u);
+  EXPECT_EQ(sim::to_json(r).rfind("{\"schema_version\":4,", 0), 0u);
 
   sim::SweepOutcome outcome;
   outcome.ok = true;
   outcome.result = r;
-  EXPECT_NE(sim::to_json(outcome).find("\"schema_version\":3"),
+  EXPECT_NE(sim::to_json(outcome).find("\"schema_version\":4"),
             std::string::npos);
 }
 

@@ -244,7 +244,7 @@ TEST(Observability, ReportRoundTripsTimeSeries) {
       "gcc", sim::SystemChoice::kHomogenDdr3, db,
       sampled_experiment(40'000, 10'000, /*trace=*/false));
   const std::string json = sim::to_json(r);
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"timeseries\""), std::string::npos);
   EXPECT_NE(json.find("\"epoch_instructions\":10000"), std::string::npos);
   EXPECT_NE(json.find("\"path\":\"core0/ipc\""), std::string::npos);

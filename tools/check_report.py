@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Validates schema-v3 simulator artifacts.
+"""Validates schema-v4 simulator artifacts.
 
 CI smoke for the observability + robustness layers. Three modes:
 
   tools/check_report.py report.json [--require-timeseries] [--trace t.json]
       single run-result report (moca_cli run --json)
   tools/check_report.py sweep.json --sweep [--expect-cells N]
-      supervised sweep report (moca_cli compare --json with supervision):
-      schema envelope, typed failure kinds, attempts fields
+      [--expect-kind kind=N]...
+      supervised sweep report (moca_cli compare/sweep --json with
+      supervision): schema envelope, typed failure kinds, attempts fields,
+      crash fingerprints, the interrupted-envelope rule
   tools/check_report.py sweep.jsonl --journal [--expect-cells N]
       supervised-sweep resume journal: one framed entry per line, a
       consistent fingerprint, outcome payloads shaped like sweep outcomes
+
+Schema v4 adds the process-isolation vocabulary: failure kinds "crashed",
+"oom_killed" and "interrupted", an optional per-outcome
+"crash": {"signal": N, "phase": "..."} fingerprint, and an optional
+top-level "interrupted": true envelope flag on partial sweep reports.
 
 Exits non-zero with a message on the first violation.
 """
@@ -18,10 +25,13 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 JOURNAL_VERSION = 1
 KINDS = {"counter", "gauge", "rate", "ratio"}
-FAILURE_KINDS = {"none", "failed", "timed_out", "quarantined"}
+FAILURE_KINDS = {"none", "failed", "timed_out", "quarantined",
+                 "crashed", "oom_killed", "interrupted"}
+# Heartbeat phases an isolated child can die in (src/sim/isolation.h).
+CRASH_PHASES = {"spawned", "running", "reporting", "done"}
 ADAPTIVE_KEYS = {
     "epochs", "reclassifications", "object_promotions", "object_demotions",
     "moved_pages", "copied_lines", "denied_no_space",
@@ -123,8 +133,33 @@ def check_trace(path):
         fail(f"{path}: 'measured' phase event missing")
 
 
-def check_outcome(outcome, where):
-    """Typed failure fields every schema-v3 sweep outcome must carry."""
+def check_crash_block(crash, kind, where):
+    """The crash fingerprint: positive signal number plus the heartbeat
+    phase the child last reported. Mandatory for "crashed", optional for
+    "oom_killed" (present only when the kill arrived as a signal), illegal
+    everywhere else."""
+    if crash is None:
+        if kind == "crashed":
+            fail(f"{where}: kind=crashed but crash block missing")
+        return
+    if kind not in ("crashed", "oom_killed"):
+        fail(f"{where}: crash block present but kind is {kind!r}")
+    if not isinstance(crash, dict):
+        fail(f"{where}: crash block is not an object: {crash!r}")
+    signal = crash.get("signal")
+    if isinstance(signal, bool) or not isinstance(signal, int) or signal <= 0:
+        fail(f"{where}: crash.signal is {signal!r}, "
+             "expected a positive integer")
+    phase = crash.get("phase")
+    if phase not in CRASH_PHASES:
+        fail(f"{where}: crash.phase is {phase!r}, expected one of "
+             f"{sorted(CRASH_PHASES)}")
+    if set(crash) != {"signal", "phase"}:
+        fail(f"{where}: crash block has unexpected keys {sorted(crash)}")
+
+
+def check_outcome(outcome, where, allow_interrupted=False):
+    """Typed failure fields every schema-v4 sweep outcome must carry."""
     if "job_id" not in outcome:
         fail(f"{where}: job_id missing")
     if not isinstance(outcome.get("ok"), bool):
@@ -133,11 +168,16 @@ def check_outcome(outcome, where):
     if kind not in FAILURE_KINDS:
         fail(f"{where}: kind is {kind!r}, expected one of "
              f"{sorted(FAILURE_KINDS)}")
+    if kind == "interrupted" and not allow_interrupted:
+        fail(f"{where}: kind=interrupted outside an interrupted report "
+             "(interrupted cells are never journaled and require the "
+             "envelope flag)")
     if outcome["ok"] != (kind == "none"):
         fail(f"{where}: ok={outcome['ok']} inconsistent with kind={kind!r}")
     attempts = outcome.get("attempts")
     if not isinstance(attempts, int) or attempts < 1:
         fail(f"{where}: attempts is {attempts!r}, expected integer >= 1")
+    check_crash_block(outcome.get("crash"), kind, where)
     if outcome["ok"]:
         result = outcome.get("result")
         if not isinstance(result, dict):
@@ -150,22 +190,48 @@ def check_outcome(outcome, where):
         fail(f"{where}: failed outcome has no error text")
 
 
-def check_sweep(path, expect_cells):
+def parse_expect_kinds(specs):
+    """--expect-kind crashed=2 style assertions -> {kind: count}."""
+    expected = {}
+    for spec in specs or []:
+        kind, sep, count = spec.partition("=")
+        if not sep or kind not in FAILURE_KINDS or not count.isdigit():
+            fail(f"bad --expect-kind {spec!r} (want one of "
+                 f"{sorted(FAILURE_KINDS)}=N)")
+        expected[kind] = int(count)
+    return expected
+
+
+def check_sweep(path, expect_cells, expect_kinds=None):
     with open(path) as f:
         report = json.load(f)
     if report.get("schema_version") != SCHEMA_VERSION:
         fail(f"sweep schema_version is {report.get('schema_version')!r}, "
              f"expected {SCHEMA_VERSION}")
+    interrupted = report.get("interrupted")
+    if interrupted not in (None, True):
+        fail(f"envelope interrupted is {interrupted!r} "
+             "(must be true or absent)")
     outcomes = report.get("outcomes")
     if not isinstance(outcomes, list) or not outcomes:
         fail("sweep outcomes missing or empty")
     if expect_cells is not None and len(outcomes) != expect_cells:
         fail(f"sweep has {len(outcomes)} outcomes, expected {expect_cells}")
+    counts = {}
     for i, outcome in enumerate(outcomes):
         if outcome.get("job_id") != i:
             fail(f"outcome {i} has job_id {outcome.get('job_id')} "
                  "(submission order violated)")
-        check_outcome(outcome, f"outcome {i}")
+        check_outcome(outcome, f"outcome {i}",
+                      allow_interrupted=interrupted is True)
+        counts[outcome.get("kind")] = counts.get(outcome.get("kind"), 0) + 1
+    if interrupted is True and counts.get("interrupted", 0) == 0:
+        fail("envelope says interrupted but no cell has kind=interrupted")
+    for kind, want in (expect_kinds or {}).items():
+        got = counts.get(kind, 0)
+        if got != want:
+            fail(f"expected {want} outcomes of kind {kind!r}, got {got} "
+                 f"(counts: {counts})")
     print(f"check_report: OK ({len(outcomes)} sweep outcomes)")
 
 
@@ -218,10 +284,14 @@ def main():
                         help="treat the input as a resume journal (JSONL)")
     parser.add_argument("--expect-cells", type=int,
                         help="required cell count (--sweep/--journal)")
+    parser.add_argument("--expect-kind", action="append", metavar="KIND=N",
+                        help="required count of a failure kind, e.g. "
+                             "crashed=2 (--sweep only; repeatable)")
     args = parser.parse_args()
 
     if args.sweep:
-        check_sweep(args.report, args.expect_cells)
+        check_sweep(args.report, args.expect_cells,
+                    parse_expect_kinds(args.expect_kind))
         return
     if args.journal:
         check_journal(args.report, args.expect_cells)

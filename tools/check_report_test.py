@@ -33,7 +33,7 @@ def base_report():
             "values": [0.7, 2.0, 1.5e9, 10.0],
         })
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "timeseries": {
             "epoch_instructions": 5000,
             "warmup_end_ps": 0,
@@ -57,6 +57,38 @@ def adaptive_block():
         "hysteresis_margin": 1,
         "ping_pong_moves": 0,
     }
+
+
+def sweep_outcome(job_id, kind="none", crash=None):
+    """A minimal schema-v4 sweep outcome of the given failure kind."""
+    outcome = {
+        "job_id": job_id,
+        "label": f"cell{job_id}",
+        "ok": kind == "none",
+        "kind": kind,
+        "attempts": 1,
+    }
+    if kind == "none":
+        outcome["result"] = {"schema_version": 4}
+    else:
+        outcome["error"] = f"injected {kind}"
+    if crash is not None:
+        outcome["crash"] = crash
+    return outcome
+
+
+def sweep_report(kinds, interrupted=False, crashes=None):
+    """A sweep envelope with one outcome per kind, in submission order."""
+    report = {
+        "schema_version": 4,
+        "outcomes": [
+            sweep_outcome(i, kind, (crashes or {}).get(i))
+            for i, kind in enumerate(kinds)
+        ],
+    }
+    if interrupted:
+        report["interrupted"] = True
+    return report
 
 
 def run_checker(report, extra_args=()):
@@ -142,6 +174,53 @@ def main():
     inconsistent["adaptive"]["object_demotions"] = 5
     expect("reclassification count mismatch fails", inconsistent,
            want_fail=True, want_text="promotions + demotions")
+
+    # Schema-v4 isolation vocabulary: crash fingerprints, oom_killed,
+    # the interrupted-envelope rule and --expect-kind accounting.
+    crash = {"signal": 11, "phase": "running"}
+    storm = sweep_report(["none", "crashed", "none", "oom_killed"],
+                         crashes={1: crash, 3: crash})
+    expect("sweep with crash fingerprints passes", storm,
+           want_fail=False, extra_args=("--sweep", "--expect-cells", "4"))
+    expect("--expect-kind counts match", storm, want_fail=False,
+           extra_args=("--sweep", "--expect-kind", "crashed=1",
+                       "--expect-kind", "none=2",
+                       "--expect-kind", "oom_killed=1"))
+    expect("--expect-kind count mismatch fails", storm, want_fail=True,
+           want_text="kind 'crashed'",
+           extra_args=("--sweep", "--expect-kind", "crashed=2"))
+
+    expect("crashed without crash block fails",
+           sweep_report(["crashed"]), want_fail=True,
+           want_text="crash block missing", extra_args=("--sweep",))
+    expect("oom_killed without crash block passes",
+           sweep_report(["oom_killed"]), want_fail=False,
+           extra_args=("--sweep",))
+    expect("crash block with bad phase fails",
+           sweep_report(["crashed"],
+                        crashes={0: {"signal": 11, "phase": "limbo"}}),
+           want_fail=True, want_text="crash.phase",
+           extra_args=("--sweep",))
+    expect("crash block with zero signal fails",
+           sweep_report(["crashed"],
+                        crashes={0: {"signal": 0, "phase": "running"}}),
+           want_fail=True, want_text="crash.signal",
+           extra_args=("--sweep",))
+    expect("crash block on a clean outcome fails",
+           sweep_report(["none"], crashes={0: crash}),
+           want_fail=True, want_text="crash block present",
+           extra_args=("--sweep",))
+
+    expect("interrupted outcome without envelope flag fails",
+           sweep_report(["none", "interrupted"]), want_fail=True,
+           want_text="interrupted", extra_args=("--sweep",))
+    expect("interrupted outcome under envelope flag passes",
+           sweep_report(["none", "interrupted"], interrupted=True),
+           want_fail=False, extra_args=("--sweep",))
+    expect("envelope flag without interrupted cells fails",
+           sweep_report(["none", "none"], interrupted=True),
+           want_fail=True, want_text="no cell has kind=interrupted",
+           extra_args=("--sweep",))
 
     print("check_report_test: all cases passed")
 

@@ -4,10 +4,14 @@
 //   moca_cli profile <app> [--instr N] [--out profile.txt]
 //   moca_cli run <app>... [--system S] [--config 1|2|3] [--instr N]
 //   moca_cli compare <app>... [--instr N] [--config 1|2|3]
+//   moca_cli sweep <app>... [--systems S,S,...] [--instr N]
 //   moca_cli record <app> --out trace.trc [--ops N] [--classify]
 //   moca_cli replay <trace.trc> [--system S] [--config 1|2|3] [--instr N]
 //
 // Systems: ddr3, lp, rl, hbm, heter-app, moca, migration.
+#include <csignal>
+
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,8 +45,32 @@ const std::vector<sim::FlagSpec>& cli_flags() {
   static const std::vector<sim::FlagSpec> kFlags = {
       {"json", false}, {"classify", false}, {"system", true},
       {"out", true},   {"ops", true},       {"seed", true},
+      {"systems", true},
   };
   return kFlags;
+}
+
+// Graceful SIGINT/SIGTERM for supervised sweeps: the handler only flips
+// these flags; the supervisor notices, cancels/SIGKILLs running cells,
+// keeps the journal consistent (every fsynced line stays valid) and the
+// CLI then emits a partial report marked "interrupted" and exits
+// 128+signal. A second signal (SA_RESETHAND) kills the process the
+// default way for users who really mean it.
+std::atomic<bool> g_interrupt{false};
+std::atomic<int> g_interrupt_signal{0};
+
+void interrupt_handler(int signum) {
+  g_interrupt_signal.store(signum, std::memory_order_relaxed);
+  g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+void install_interrupt_handlers() {
+  struct sigaction action {};
+  action.sa_handler = interrupt_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
 }
 
 /// Env defaults overlaid with the command line (flag > env > default).
@@ -195,9 +223,58 @@ int cmd_run(const ParsedArgs& args) {
   return 0;
 }
 
+/// Shared supervised-sweep driver (compare/sweep): signal handlers on,
+/// supervisor run, report or table out, interrupt mapped to 128+signal.
+int run_supervised_sweep(
+    const ParsedArgs& args, const sim::ExperimentOptions& options,
+    sim::SweepRunner& runner, const std::vector<sim::SweepJob>& jobs,
+    const std::map<std::string, core::ClassifiedApp>& db) {
+  sim::SupervisorOptions sup_options = options.supervisor;
+  sup_options.interrupt = &g_interrupt;
+  sim::SweepSupervisor supervisor(runner, sup_options);
+  const sim::SweepSupervisor::Result result = supervisor.run(jobs, db);
+  if (args.has("json")) {
+    std::cout << result.report << '\n';
+  } else {
+    Table t({"cell", "status", "attempts"});
+    for (const sim::SweepOutcome& outcome : result.outcomes) {
+      std::string status =
+          outcome.ok ? std::string("ok") : sim::to_string(outcome.kind);
+      if (outcome.crash_signal != 0) {
+        status += " (signal " + std::to_string(outcome.crash_signal) +
+                  ", phase " + outcome.crash_phase + ")";
+      }
+      t.row()
+          .cell(outcome.label)
+          .cell(status)
+          .cell(static_cast<std::uint64_t>(outcome.attempts));
+    }
+    t.print(std::cout);
+    if (result.resumed_cells > 0) {
+      std::cout << result.resumed_cells
+                << " cells recovered from the journal\n";
+    }
+  }
+  // Operational notes go to stderr so --json output stays a clean pipe.
+  if (result.torn_journal_lines > 0) {
+    std::cerr << "journal: tolerated " << result.torn_journal_lines
+              << " torn trailing line(s); those cells were re-run\n";
+  }
+  if (result.interrupted) {
+    const int signum = g_interrupt_signal.load(std::memory_order_relaxed);
+    std::cerr << "sweep interrupted (signal " << signum
+              << "): journal flushed, partial report marked interrupted\n";
+    return signum > 0 ? 128 + signum : 130;
+  }
+  return 0;
+}
+
 int cmd_compare(const ParsedArgs& args) {
   MOCA_CHECK_MSG(!args.positional.empty(), "compare needs apps");
   const sim::ExperimentOptions options = options_from(args);
+  // Install before the profiling phase so a SIGINT at any point after
+  // startup is caught; a pre-sweep interrupt marks every cell interrupted.
+  if (options.supervised) install_interrupt_handlers();
   const sim::Experiment& e = options.experiment;
   sim::SweepRunner runner = options.make_runner();
   const auto db = sim::build_profile_db(args.positional, e, runner);
@@ -217,26 +294,7 @@ int cmd_compare(const ParsedArgs& args) {
   // the sweep through the supervisor: per-job watchdog, retry/quarantine
   // and the crash-safe journal (docs/robustness.md).
   if (options.supervised) {
-    sim::SweepSupervisor supervisor(runner, options.supervisor);
-    const sim::SweepSupervisor::Result result = supervisor.run(jobs, db);
-    if (args.has("json")) {
-      std::cout << result.report << '\n';
-      return 0;
-    }
-    Table t({"system", "status", "attempts"});
-    for (const sim::SweepOutcome& outcome : result.outcomes) {
-      t.row()
-          .cell(outcome.label)
-          .cell(outcome.ok ? std::string("ok")
-                           : sim::to_string(outcome.kind))
-          .cell(static_cast<std::uint64_t>(outcome.attempts));
-    }
-    t.print(std::cout);
-    if (result.resumed_cells > 0) {
-      std::cout << result.resumed_cells
-                << " cells recovered from the journal\n";
-    }
-    return 0;
+    return run_supervised_sweep(args, options, runner, jobs, db);
   }
 
   const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
@@ -262,6 +320,73 @@ int cmd_compare(const ParsedArgs& args) {
         .cell(static_cast<double>(r.total_mem_access_time) / bt, 3)
         .cell(r.memory_edp() / be, 3)
         .cell(r.system_edp() / bs, 3);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+/// `sweep <app>... [--systems S,S,...]`: the full apps x systems grid, one
+/// cell per (app, system) pair — each app runs alone so cells are small and
+/// independently retryable. This is the isolation/chaos workhorse: with
+/// --isolate every cell is a forked child, and `cell=<n>` fault clauses
+/// address cells by this submission order (app-major, systems inner).
+int cmd_sweep(const ParsedArgs& args) {
+  MOCA_CHECK_MSG(!args.positional.empty(), "sweep needs at least one app");
+  const sim::ExperimentOptions options = options_from(args);
+  if (options.supervised) install_interrupt_handlers();
+  const sim::Experiment& e = options.experiment;
+
+  std::vector<sim::SystemChoice> systems;
+  if (args.has("systems")) {
+    std::stringstream list(args.get("systems"));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (name.empty()) continue;
+      const auto choice = parse_system(name);
+      MOCA_CHECK_MSG(choice.has_value(), "unknown system: " << name);
+      systems.push_back(*choice);
+    }
+    MOCA_CHECK_MSG(!systems.empty(), "--systems needs at least one system");
+  } else {
+    for (const sim::SystemChoice choice : sim::all_system_choices()) {
+      systems.push_back(choice);
+    }
+  }
+
+  sim::SweepRunner runner = options.make_runner();
+  const auto db = sim::build_profile_db(args.positional, e, runner);
+  std::vector<sim::SweepJob> jobs;
+  for (const std::string& app : args.positional) {
+    for (const sim::SystemChoice choice : systems) {
+      sim::SweepJob job;
+      job.apps = {app};
+      job.choice = choice;
+      job.experiment = e;
+      job.label = app + "/" + sim::to_string(choice);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  if (options.supervised) {
+    return run_supervised_sweep(args, options, runner, jobs, db);
+  }
+  const std::vector<sim::SweepOutcome> outcomes = runner.run(jobs, db);
+  if (args.has("json")) {
+    std::cout << sim::to_json(outcomes) << '\n';
+    return 0;
+  }
+  Table t({"cell", "mem time (us)", "mem EDP (nJ*s)", "IPC"});
+  for (const sim::SweepOutcome& outcome : outcomes) {
+    MOCA_CHECK_MSG(outcome.ok, "job " << outcome.label
+                                      << " failed: " << outcome.error);
+    const sim::RunResult& r = outcome.result;
+    double ipc = 0.0;
+    for (const sim::CoreResult& c : r.cores) ipc += c.core.ipc();
+    t.row()
+        .cell(outcome.label)
+        .cell(static_cast<double>(r.total_mem_access_time) * 1e-6, 1)
+        .cell(r.memory_edp() * 1e9, 4)
+        .cell(ipc, 2);
   }
   t.print(std::cout);
   return 0;
@@ -385,6 +510,8 @@ int usage() {
          "  profile <app> [--instr N] [--out F]   offline profiling\n"
          "  run <app>... [--system S] [--config C] [--instr N]\n"
          "  compare <app>... [--instr N] [--jobs N] [--log] [--json]\n"
+         "  sweep <app>... [--systems S,S,...] [--instr N] [--json]\n"
+         "                 apps x systems grid, one cell per pair\n"
          "  record <app> --out F [--ops N] [--classify]\n"
          "  profile-file <spec.app> [--instr N]      custom workload file\n"
          "  run-file <spec.app> [--system S] [--json]\n"
@@ -400,13 +527,21 @@ int usage() {
          "  [--adaptive S]    phase-adaptive object reclassification;\n"
          "                    S = on|off|key=value,... e.g.\n"
          "                    'epoch=50000,window=4,residency=3,margin=0.25'\n"
-         "  compare only: [--timeout-ms N] [--retries N] [--journal F]\n"
+         "  compare/sweep: [--timeout-ms N] [--retries N] [--journal F]\n"
          "                [--resume F] run the sweep supervised (watchdog,\n"
          "                retry/quarantine, crash-safe resume journal)\n"
+         "  [--isolate]       fork each cell into its own process: crashes\n"
+         "                    and OOM kills quarantine one cell, survivors\n"
+         "                    merge byte-identically\n"
+         "  [--rlimit-as-mb N] / [--rlimit-cpu-s N]  per-child address-space\n"
+         "                    / CPU caps (imply --isolate)\n"
+         "  SIGINT/SIGTERM during a supervised sweep flushes the journal,\n"
+         "  emits a partial report marked interrupted and exits 128+signal.\n"
          "Every knob also reads MOCA_SIM_{INSTR,WARMUP,CONFIG,EPOCH,TRACE,"
          "JOBS,\n"
-         "FAULTS,TIMEOUT_MS,AUDIT,ADAPTIVE}; flags win over environment "
-         "variables.\n";
+         "FAULTS,TIMEOUT_MS,ISOLATE,RLIMIT_AS_MB,RLIMIT_CPU_S,AUDIT,"
+         "ADAPTIVE};\n"
+         "flags win over environment variables.\n";
   return 2;
 }
 
@@ -429,6 +564,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(args);
     if (command == "run") return cmd_run(args);
     if (command == "compare") return cmd_compare(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "record") return cmd_record(args);
     if (command == "profile-file") return cmd_profile_file(args);
     if (command == "run-file") return cmd_run_file(args);
